@@ -1,0 +1,73 @@
+//! Substrate operations: reservation admission, network models, object
+//! store, artifact-metrics rollup.
+
+use autolearn_cloud::hardware::Site;
+use autolearn_cloud::objectstore::ObjectStore;
+use autolearn_cloud::reservation::ReservationSystem;
+use autolearn_net::{rpc_round_trip, transfer_time, Path, TransferSpec};
+use autolearn_trovi::EventLog;
+use autolearn_util::SimTime;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+fn bench_reservations(c: &mut Criterion) {
+    c.bench_function("reservation_admit_200_leases", |bench| {
+        bench.iter(|| {
+            let mut rs = ReservationSystem::new(Site::chameleon());
+            for i in 0..200u64 {
+                let start = (i % 50) as f64 * 3600.0;
+                let _ = black_box(rs.reserve(
+                    "p",
+                    "gpu_rtx6000",
+                    1,
+                    SimTime::from_secs(start),
+                    SimTime::from_secs(start + 7200.0),
+                ));
+            }
+            rs.leases().len()
+        })
+    });
+}
+
+fn bench_network_models(c: &mut Criterion) {
+    let path = Path::car_to_cloud();
+    c.bench_function("transfer_time_model", |bench| {
+        bench.iter(|| black_box(transfer_time(&path, &TransferSpec::rsync(30_000_000))))
+    });
+    c.bench_function("rpc_round_trip_model", |bench| {
+        bench.iter(|| black_box(rpc_round_trip(&path, 1200, 16)))
+    });
+    let mut sampler = path.rtt_sampler(1);
+    c.bench_function("rtt_sample", |bench| bench.iter(|| black_box(sampler.sample())));
+}
+
+fn bench_object_store(c: &mut Criterion) {
+    c.bench_function("objectstore_put_get_1kb", |bench| {
+        let mut store = ObjectStore::new();
+        let data = vec![7u8; 1024];
+        let mut i = 0u64;
+        bench.iter(|| {
+            i += 1;
+            let name = format!("obj-{}", i % 512);
+            store.put("c", &name, data.clone(), BTreeMap::new());
+            black_box(store.get("c", &name).unwrap().etag)
+        })
+    });
+}
+
+fn bench_trovi_rollup(c: &mut Criterion) {
+    let log = EventLog::synthetic_funnel("a", 2000, 0.3, 0.3, 1);
+    c.bench_function("trovi_metrics_rollup_2000users", |bench| {
+        bench.iter(|| black_box(log.metrics_for("a")))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_reservations,
+    bench_network_models,
+    bench_object_store,
+    bench_trovi_rollup
+);
+criterion_main!(benches);

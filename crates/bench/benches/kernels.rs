@@ -1,0 +1,92 @@
+//! Hot numeric kernels: the conv/matmul/LSTM math behind every training
+//! stage and the camera render behind every simulated frame.
+
+use autolearn_nn::layers::{Conv2D, Dense, Layer, Lstm};
+use autolearn_nn::Tensor;
+use autolearn_sim::{Camera, CameraConfig, VehicleState};
+use autolearn_track::paper_oval;
+use autolearn_util::rng::rng_from_seed;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = rng_from_seed(1);
+    let a = Tensor::randn(&[64, 192], 1.0, &mut rng);
+    let b = Tensor::randn(&[192, 64], 1.0, &mut rng);
+    c.bench_function("matmul_64x192x64", |bench| {
+        bench.iter(|| black_box(a.matmul(&b)))
+    });
+}
+
+fn bench_conv2d(c: &mut Criterion) {
+    let mut rng = rng_from_seed(2);
+    let mut conv = Conv2D::new(1, 8, 5, 2, &mut rng);
+    let x = Tensor::randn(&[32, 1, 30, 40], 1.0, &mut rng);
+    c.bench_function("conv2d_forward_b32_30x40", |bench| {
+        bench.iter(|| black_box(conv.forward(&x, true)))
+    });
+    let y = conv.forward(&x, true);
+    c.bench_function("conv2d_backward_b32_30x40", |bench| {
+        bench.iter(|| {
+            conv.zero_grads();
+            black_box(conv.backward(&y))
+        })
+    });
+}
+
+fn bench_dense(c: &mut Criterion) {
+    let mut rng = rng_from_seed(3);
+    let mut dense = Dense::new(192, 64, &mut rng);
+    let x = Tensor::randn(&[32, 192], 1.0, &mut rng);
+    c.bench_function("dense_forward_b32_192to64", |bench| {
+        bench.iter(|| black_box(dense.forward(&x, true)))
+    });
+}
+
+fn bench_lstm(c: &mut Criterion) {
+    let mut rng = rng_from_seed(4);
+    let mut lstm = Lstm::new(64, 32, &mut rng);
+    let x = Tensor::randn(&[16, 3, 64], 1.0, &mut rng);
+    c.bench_function("lstm_forward_b16_t3", |bench| {
+        bench.iter(|| black_box(lstm.forward(&x, true)))
+    });
+}
+
+fn bench_camera(c: &mut Criterion) {
+    let track = paper_oval();
+    let (pos, heading) = track.start_pose();
+    let state = VehicleState::at(pos, heading);
+    let mut small = Camera::new(CameraConfig::small());
+    c.bench_function("camera_render_40x30", |bench| {
+        bench.iter(|| black_box(small.render(&track, &state)))
+    });
+    let mut full = Camera::new(CameraConfig::default());
+    c.bench_function("camera_render_160x120", |bench| {
+        bench.iter(|| black_box(full.render(&track, &state)))
+    });
+}
+
+fn bench_track_project(c: &mut Criterion) {
+    let track = paper_oval();
+    let points: Vec<_> = (0..64)
+        .map(|i| track.offset_point(i as f64 * 0.17, ((i % 7) as f64 - 3.0) * 0.1))
+        .collect();
+    c.bench_function("track_project_64pts", |bench| {
+        bench.iter(|| {
+            for p in &points {
+                black_box(track.project(*p));
+            }
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_conv2d,
+    bench_dense,
+    bench_lstm,
+    bench_camera,
+    bench_track_project
+);
+criterion_main!(benches);

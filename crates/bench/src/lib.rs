@@ -1,0 +1,151 @@
+//! Shared harness code for the experiment binaries.
+//!
+//! One binary per paper figure/claim (see DESIGN.md §3 for the index):
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `exp_f1_pipeline` | Fig. 1 — the three-component module pipeline |
+//! | `exp_f2_collection_paths` | Fig. 2 — the three data-collection paths |
+//! | `exp_f3_tracks` | Fig. 3 — paper oval vs Waveshare track |
+//! | `exp_t1_model_zoo` | §3.3 six models; "inferred was best" |
+//! | `exp_t2_gpu_sweep` | §3.3/§3.5 GPU training-time range |
+//! | `exp_t3_inference_placement` | §3.3 in-situ vs cloud vs hybrid (Zheng poster) |
+//! | `exp_t4_consistency` | Fowler poster: speed feedback vs constant throttle |
+//! | `exp_t5_digital_twin` | §3.3/§3.4 digital twin |
+//! | `exp_t6_trovi_funnel` | §5 Trovi metrics funnel |
+//! | `exp_t7_dataset_sweep` | §3.3 dataset size 10–50k records |
+//! | `exp_t8_zero_to_ready` | §3.5 BYOD zero-to-ready |
+//! | `exp_t9_cleaning` | §3.3 tubclean impact |
+//! | `exp_t10_rl` | §3.3 reinforcement-learning extension |
+//! | `exp_t11_reservations` | §3.2 advance reservations vs on-demand |
+//! | `exp_t3b_remote_loop` | T3's trade-off with the real dataflow in the loop |
+//! | `exp_a1_camera_ablation` | ablation: camera pixels vs oracle features |
+//! | `exp_a2_multigpu` | ablation: multi-GPU scaling, NVLink vs PCIe |
+//! | `exp_a3_augmentation` | ablation: mirror augmentation |
+//!
+//! Run all with `scripts` or individually:
+//! `cargo run --release -p autolearn-bench --bin exp_t1_model_zoo`.
+
+use autolearn::collect::{collect_session, CollectConfig, CollectionPath};
+use autolearn::dataset::records_to_dataset;
+use autolearn::modelpilot::ModelPilot;
+use autolearn_nn::models::{prepare_dataset, CarModel, DonkeyModel, ModelConfig, ModelKind};
+use autolearn_nn::{TrainConfig, TrainReport, Trainer};
+use autolearn_sim::{CameraConfig, CarConfig, DriveConfig, SessionResult, Simulation};
+use autolearn_track::Track;
+use autolearn_tub::Record;
+
+/// Print an aligned table.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut out = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            out.push_str(&format!("{:>w$}  ", c, w = widths[i]));
+        }
+        println!("{}", out.trim_end());
+    };
+    line(headers.iter().map(|s| s.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// The default model config used across experiments (40x30 grayscale).
+pub fn model_config(seed: u64) -> ModelConfig {
+    ModelConfig {
+        height: 30,
+        width: 40,
+        channels: 1,
+        seed,
+        ..Default::default()
+    }
+}
+
+/// Collect a shared simulator dataset on `track`.
+pub fn simulator_records(track: &Track, duration_s: f64, seed: u64) -> Vec<Record> {
+    collect_session(
+        track,
+        &CollectConfig::new(CollectionPath::Simulator, duration_s, seed),
+    )
+    .records
+}
+
+/// Train a model of `kind` on `records`.
+pub fn train_model(
+    kind: ModelKind,
+    records: &[Record],
+    epochs: usize,
+    seed: u64,
+) -> (CarModel, TrainReport) {
+    let cfg = model_config(seed);
+    let mut model = CarModel::build(kind, &cfg);
+    let data = prepare_dataset(&records_to_dataset(records, &cfg), model.input_spec());
+    let report = Trainer::new(TrainConfig {
+        epochs,
+        seed,
+        ..Default::default()
+    })
+    .fit(&mut model, &data);
+    (model, report)
+}
+
+/// Autonomous evaluation of a trained model.
+pub fn evaluate_model(
+    model: CarModel,
+    track: &Track,
+    laps: usize,
+    max_duration_s: f64,
+    control_latency: f64,
+) -> SessionResult {
+    let mut sim = Simulation::new(
+        track.clone(),
+        CarConfig::default(),
+        CameraConfig::small(),
+        DriveConfig {
+            control_latency,
+            store_images: false,
+            ..Default::default()
+        },
+    );
+    let mut pilot = ModelPilot::new(model);
+    sim.run_laps(&mut pilot, laps, max_duration_s)
+}
+
+/// Format a float to fixed decimals as String (table helper).
+pub fn f(v: f64, decimals: usize) -> String {
+    format!("{:.*}", decimals, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autolearn_track::circle_track;
+
+    #[test]
+    fn harness_trains_and_evaluates() {
+        let track = circle_track(3.0, 0.8);
+        let records = simulator_records(&track, 40.0, 1);
+        assert_eq!(records.len(), 800);
+        let (model, report) = train_model(ModelKind::Linear, &records, 4, 1);
+        assert!(report.best_val_loss.is_finite());
+        let session = evaluate_model(model, &track, 1, 30.0, 0.0);
+        assert!(session.ticks > 0);
+    }
+
+    #[test]
+    fn table_does_not_panic_on_ragged_rows() {
+        print_table(
+            &["a", "bb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+}

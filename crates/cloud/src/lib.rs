@@ -1,0 +1,29 @@
+//! Chameleon-testbed substrate.
+//!
+//! Models the slice of the Chameleon cloud the paper's module leans on
+//! (§3.2): the GPU hardware catalog ("40 nodes with a single Nvidia RTX6000
+//! ... sets of 4 nodes each with 4x Nvidia V100, P100, or A100"), advance
+//! reservations ("guarantee resource availability at a specific time slot
+//! for a class"), bare-metal provisioning with the CUDA image the training
+//! notebook deploys, the Swift object store that holds datasets and
+//! pre-trained models, and federated identity/projects.
+//!
+//! Hardware is simulated: nodes carry published peak-FLOPS figures and an
+//! analytic performance model attributes training/inference time, while the
+//! actual gradient math runs on the host (see DESIGN.md, substitutions).
+
+pub mod hardware;
+pub mod identity;
+pub mod objectstore;
+pub mod perf;
+pub mod provision;
+pub mod reservation;
+
+pub use hardware::{ComputeDevice, GpuKind, NodeType, Site};
+pub use identity::{Allocation, IdentityService, Project, User};
+pub use objectstore::{ObjectStore, StoredObject};
+pub use perf::{
+    inference_latency, multi_gpu_training_time, training_time, MultiGpuConfig, TrainingCostModel,
+};
+pub use provision::{ProvisionState, Provisioner, ProvisioningPlan};
+pub use reservation::{Lease, LeaseId, LeaseState, ReservationError, ReservationSystem};

@@ -1,0 +1,105 @@
+//! Property tests: the reservation calendar's capacity invariant and the
+//! performance model's monotonicity.
+
+use autolearn_cloud::hardware::{ComputeDevice, GpuKind, NodeType, Site};
+use autolearn_cloud::perf::{inference_latency, training_time, TrainingCostModel};
+use autolearn_cloud::reservation::{LeaseState, ReservationSystem};
+use autolearn_util::SimTime;
+use proptest::prelude::*;
+
+fn site(capacity: u32) -> Site {
+    Site {
+        name: "prop".to_string(),
+        inventory: vec![(NodeType::gpu_node(GpuKind::V100, 4), capacity)],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// However leases are requested, at no instant does the sum of admitted
+    /// overlapping leases exceed capacity.
+    #[test]
+    fn capacity_never_exceeded(
+        capacity in 1u32..6,
+        requests in prop::collection::vec((0.0f64..100.0, 1.0f64..50.0, 1u32..4), 1..40),
+    ) {
+        let mut rs = ReservationSystem::new(site(capacity));
+        for (start, len, nodes) in &requests {
+            let _ = rs.reserve(
+                "p",
+                "gpu_v100",
+                *nodes,
+                SimTime::from_secs(*start),
+                SimTime::from_secs(start + len),
+            );
+        }
+        // Check the invariant at every lease boundary instant.
+        let mut instants: Vec<f64> = rs
+            .leases()
+            .iter()
+            .flat_map(|l| [l.start.as_secs(), l.end.as_secs() - 1e-9])
+            .collect();
+        instants.push(0.0);
+        for t in instants {
+            let used: u32 = rs
+                .leases()
+                .iter()
+                .filter(|l| {
+                    l.state != LeaseState::Ended
+                        && l.start.as_secs() <= t
+                        && t < l.end.as_secs()
+                })
+                .map(|l| l.nodes)
+                .sum();
+            prop_assert!(used <= capacity, "at t={t}: used {used} > capacity {capacity}");
+        }
+    }
+
+    /// min_free is consistent with a subsequent admission decision.
+    #[test]
+    fn min_free_predicts_admission(
+        existing in prop::collection::vec((0.0f64..50.0, 1.0f64..30.0), 0..10),
+        start in 0.0f64..60.0,
+        len in 1.0f64..20.0,
+        want in 1u32..4,
+    ) {
+        let mut rs = ReservationSystem::new(site(3));
+        for (s, l) in &existing {
+            let _ = rs.reserve("bg", "gpu_v100", 1, SimTime::from_secs(*s), SimTime::from_secs(s + l));
+        }
+        let free = rs.min_free("gpu_v100", SimTime::from_secs(start), SimTime::from_secs(start + len));
+        let admitted = rs
+            .reserve("p", "gpu_v100", want, SimTime::from_secs(start), SimTime::from_secs(start + len))
+            .is_ok();
+        prop_assert_eq!(admitted, free >= want);
+    }
+
+    /// Training time grows with examples and shrinks with device speed.
+    /// (Model sizes start at 1 MFLOP: below that, per-batch launch overhead
+    /// legitimately lets the overhead-free Pi "win", which is the crossover
+    /// exp_t3 measures, not a bug.)
+    #[test]
+    fn perf_model_monotone(flops in 1_000_000u64..100_000_000, examples in 100u64..1_000_000) {
+        let slow = ComputeDevice::raspberry_pi4();
+        let fast = ComputeDevice::of_gpu(GpuKind::A100);
+        let m1 = TrainingCostModel::new(flops, examples, 32);
+        let m2 = TrainingCostModel::new(flops, examples * 2, 32);
+        prop_assert!(training_time(&m1, &fast).as_secs() <= training_time(&m1, &slow).as_secs());
+        prop_assert!(training_time(&m2, &fast).as_secs() >= training_time(&m1, &fast).as_secs());
+        // Inference latency is monotone in flops on any one device. (Across
+        // devices the GPU's call overhead beats the Pi only above ~20 MFLOP
+        // — the crossover exp_t3 exists to measure.)
+        for dev in [&fast, &slow] {
+            prop_assert!(
+                inference_latency(flops * 2, dev).as_secs()
+                    >= inference_latency(flops, dev).as_secs()
+            );
+            prop_assert!(inference_latency(flops, dev).as_secs() > 0.0);
+        }
+        prop_assert!(
+            inference_latency(100_000_000, &fast).as_secs()
+                < inference_latency(100_000_000, &slow).as_secs()
+        );
+    }
+}

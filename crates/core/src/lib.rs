@@ -1,0 +1,52 @@
+//! AutoLearn: the edge-to-cloud educational module.
+//!
+//! This crate is the paper's primary contribution — the module that wires
+//! the substrates (`autolearn-{track,sim,tub,nn,cloud,edge,net,trovi}`)
+//! into the complete learning loop of Fig. 1:
+//!
+//! ```text
+//!   collect (sample / simulator / physical car)   [collect]
+//!     → clean (tubclean)                          [collect]
+//!     → train in the cloud (reserve → provision → rsync → train)
+//!                                                 [pipeline]
+//!     → evaluate on the car (autonomous laps)     [pipeline, modelpilot]
+//! ```
+//!
+//! plus the extension modules §3.3/§3.4 recommend to students:
+//!
+//! * [`placement`] — in-situ vs in-the-cloud vs hybrid inference (the
+//!   Zheng SC'23 poster experiment), analytically,
+//! * [`remotepilot`] — the same trade-off as an actual dataflow inside the
+//!   drive loop (in-flight requests, stale-reply fallback),
+//! * [`twin`] — digital-twin comparison between the clean simulator and
+//!   the noisy "real" car,
+//! * [`rl`] — reinforcement learning on the simulator (REINFORCE),
+//! * [`extensions`] — color stop/go detection, edge-detection line
+//!   following, GPS path following, obstacle-detection braking,
+//! * [`pathway`] — the regular / classroom / digital learning pathways and
+//!   the student-competition scoring ("fastest speed with fewest errors"),
+//! * [`materials`] — the per-audience documentation set and TA checklist,
+//! * [`lesson`] — a Trovi-launched digital lesson executed end to end
+//!   (cells counted exactly as §5's metrics count them).
+
+pub mod collect;
+pub mod dataset;
+pub mod extensions;
+pub mod lesson;
+pub mod materials;
+pub mod modelpilot;
+pub mod pathway;
+pub mod pipeline;
+pub mod placement;
+pub mod remotepilot;
+pub mod rl;
+pub mod twin;
+
+pub use collect::{collect_session, sample_dataset, CollectConfig, CollectionPath};
+pub use dataset::{mirror_augment, records_to_dataset, tub_bytes_estimate};
+pub use modelpilot::ModelPilot;
+pub use pathway::{competition_score, LearningPathway, ModuleStage};
+pub use pipeline::{Pipeline, PipelineConfig, PipelineReport, StageTiming};
+pub use placement::{InferencePlacement, PlacementLatency};
+pub use remotepilot::{RemoteInferencePilot, RemoteStats};
+pub use twin::{twin_compare, TwinReport};

@@ -1,0 +1,163 @@
+//! Learning pathways and the competition scoring.
+//!
+//! §4: the module "can be followed in three different pathways, i.e.
+//! regular, classroom, and digital path, based on student's interests,
+//! background or goals"; §3.4 describes how each phase offers alternatives
+//! (sample data vs collecting, car vs simulator). §3.3 suggests students
+//! "compete to train models yielding a combination of fastest speed with
+//! fewest errors".
+
+use serde::{Deserialize, Serialize};
+
+/// The three documented pathways.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LearningPathway {
+    /// Self-paced with a physical car.
+    Regular,
+    /// Instructor-led course: cars shared via CHI@Edge, cloud reserved for
+    /// the class slot.
+    Classroom,
+    /// Fully digital: simulator + sample datasets, no hardware at all.
+    Digital,
+}
+
+/// Which of Fig. 1's three component groups a stage belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Component {
+    Artifacts,
+    Computation,
+    Extensions,
+}
+
+/// One stage of a pathway.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModuleStage {
+    pub name: String,
+    pub component: Component,
+    pub requires_car: bool,
+    pub requires_cloud: bool,
+}
+
+impl ModuleStage {
+    fn new(name: &str, component: Component, car: bool, cloud: bool) -> ModuleStage {
+        ModuleStage {
+            name: name.to_string(),
+            component,
+            requires_car: car,
+            requires_cloud: cloud,
+        }
+    }
+}
+
+impl LearningPathway {
+    pub fn all() -> [LearningPathway; 3] {
+        [
+            LearningPathway::Regular,
+            LearningPathway::Classroom,
+            LearningPathway::Digital,
+        ]
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            LearningPathway::Regular => "regular",
+            LearningPathway::Classroom => "classroom",
+            LearningPathway::Digital => "digital",
+        }
+    }
+
+    /// The stages of this pathway, in order.
+    pub fn stages(self) -> Vec<ModuleStage> {
+        use Component::*;
+        match self {
+            LearningPathway::Regular => vec![
+                ModuleStage::new("assemble car kit", Artifacts, true, false),
+                ModuleStage::new("BYOD-register the car", Artifacts, true, true),
+                ModuleStage::new("drive + collect data", Computation, true, false),
+                ModuleStage::new("tubclean review", Computation, false, false),
+                ModuleStage::new("reserve GPU + train", Computation, false, true),
+                ModuleStage::new("deploy + evaluate on car", Computation, true, true),
+                ModuleStage::new("extension project", Extensions, true, true),
+            ],
+            LearningPathway::Classroom => vec![
+                ModuleStage::new("instructor reserves class slot", Artifacts, false, true),
+                ModuleStage::new("teams drive shared cars", Computation, true, false),
+                ModuleStage::new("tubclean review", Computation, false, false),
+                ModuleStage::new("train on reserved nodes", Computation, false, true),
+                ModuleStage::new("evaluation race", Computation, true, false),
+                ModuleStage::new("competition scoring", Extensions, false, false),
+            ],
+            LearningPathway::Digital => vec![
+                ModuleStage::new("launch Trovi artifact", Artifacts, false, true),
+                ModuleStage::new("sample dataset or simulator", Computation, false, false),
+                ModuleStage::new("train (cloud or laptop)", Computation, false, false),
+                ModuleStage::new("evaluate in simulator", Computation, false, false),
+                ModuleStage::new("digital-twin exploration", Extensions, false, false),
+            ],
+        }
+    }
+
+    /// §3.4: "using available datasets and a simulator does not require a
+    /// car".
+    pub fn requires_car(self) -> bool {
+        self.stages().iter().any(|s| s.requires_car)
+    }
+}
+
+/// Competition score: "fastest speed with fewest errors". Speed counts only
+/// inasmuch as the car stayed in control — autonomy squared discounts
+/// off-track driving, and each error (crash or excursion) costs dearly.
+pub fn competition_score(mean_speed: f64, autonomy: f64, errors_per_lap: f64) -> f64 {
+    mean_speed * autonomy.clamp(0.0, 1.0).powi(2) / (1.0 + errors_per_lap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digital_path_needs_no_car() {
+        assert!(!LearningPathway::Digital.requires_car());
+        assert!(LearningPathway::Regular.requires_car());
+        assert!(LearningPathway::Classroom.requires_car());
+    }
+
+    #[test]
+    fn all_pathways_cover_all_components() {
+        for p in LearningPathway::all() {
+            let stages = p.stages();
+            assert!(stages.iter().any(|s| s.component == Component::Artifacts));
+            assert!(stages.iter().any(|s| s.component == Component::Computation));
+            assert!(
+                stages.iter().any(|s| s.component == Component::Extensions),
+                "{} lacks extensions",
+                p.name()
+            );
+        }
+    }
+
+    #[test]
+    fn classroom_uses_cloud_reservation_first() {
+        let stages = LearningPathway::Classroom.stages();
+        assert!(stages[0].requires_cloud);
+        assert!(stages[0].name.contains("reserves"));
+    }
+
+    #[test]
+    fn score_rewards_speed_and_punishes_errors() {
+        // Fast but sloppy loses to slightly slower but clean.
+        let sloppy = competition_score(2.5, 0.85, 3.0);
+        let clean = competition_score(2.0, 1.0, 0.0);
+        assert!(clean > sloppy, "clean {clean} vs sloppy {sloppy}");
+        // All else equal, faster wins.
+        assert!(competition_score(2.2, 1.0, 0.0) > competition_score(2.0, 1.0, 0.0));
+        // Zero autonomy zeroes the score.
+        assert_eq!(competition_score(3.0, 0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn pathway_names() {
+        assert_eq!(LearningPathway::all().len(), 3);
+        assert_eq!(LearningPathway::Digital.name(), "digital");
+    }
+}

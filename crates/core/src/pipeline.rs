@@ -1,0 +1,310 @@
+//! The end-to-end AutoLearn pipeline (Fig. 1).
+//!
+//! One call runs what a student does over an afternoon: collect data on the
+//! car, clean it, reserve a Chameleon GPU node, deploy the CUDA image,
+//! rsync the tub up, train, store the model in the object store, pull it
+//! onto the car's container, and drive autonomous evaluation laps — with
+//! every stage's simulated wall-clock accounted.
+
+use crate::collect::{collect_session, CollectConfig, CollectionPath};
+use crate::dataset::{records_to_dataset, tub_bytes_estimate};
+use crate::modelpilot::ModelPilot;
+use autolearn_cloud::hardware::{ComputeDevice, GpuKind, Site};
+use autolearn_cloud::perf::{training_time, TrainingCostModel};
+use autolearn_cloud::provision::ProvisioningPlan;
+use autolearn_cloud::reservation::ReservationSystem;
+use autolearn_net::{transfer_time, Path, TransferSpec};
+use autolearn_nn::models::{prepare_dataset, CarModel, DonkeyModel, ModelConfig, ModelKind};
+use autolearn_nn::{TrainConfig, TrainReport, Trainer};
+use autolearn_sim::{CarConfig, DriveConfig, Simulation};
+use autolearn_track::Track;
+use autolearn_tub::{CleanConfig, TubCleaner};
+use autolearn_util::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    pub collection: CollectConfig,
+    pub model_kind: ModelKind,
+    pub model: ModelConfig,
+    pub train: TrainConfig,
+    /// GPU node type to reserve for training.
+    pub gpu: GpuKind,
+    /// Run tubclean before training.
+    pub clean: bool,
+    /// Autonomous evaluation laps.
+    pub eval_laps: usize,
+    pub eval_max_duration_s: f64,
+}
+
+impl PipelineConfig {
+    /// The module's default lesson: simulator data, linear model, V100.
+    pub fn lesson_default(seed: u64) -> PipelineConfig {
+        PipelineConfig {
+            collection: CollectConfig::new(CollectionPath::Simulator, 120.0, seed),
+            model_kind: ModelKind::Linear,
+            model: ModelConfig {
+                height: 30,
+                width: 40,
+                channels: 1,
+                seed,
+                ..Default::default()
+            },
+            train: TrainConfig {
+                epochs: 10,
+                batch_size: 32,
+                seed,
+                ..Default::default()
+            },
+            gpu: GpuKind::V100,
+            clean: true,
+            eval_laps: 3,
+            eval_max_duration_s: 180.0,
+        }
+    }
+}
+
+/// Simulated wall-clock spent in one stage.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StageTiming {
+    pub stage: String,
+    pub duration: SimDuration,
+}
+
+/// Everything the pipeline produces.
+pub struct PipelineReport {
+    pub stages: Vec<StageTiming>,
+    pub records_collected: usize,
+    pub records_cleaned: usize,
+    pub train_report: TrainReport,
+    /// Evaluation metrics from the autonomous laps.
+    pub eval_laps: usize,
+    pub eval_autonomy: f64,
+    pub eval_mean_speed: f64,
+    pub eval_crashes: usize,
+    pub model: CarModel,
+}
+
+impl PipelineReport {
+    pub fn total_time(&self) -> SimDuration {
+        self.stages
+            .iter()
+            .fold(SimDuration::ZERO, |acc, s| acc + s.duration)
+    }
+
+    pub fn stage(&self, name: &str) -> Option<SimDuration> {
+        self.stages
+            .iter()
+            .find(|s| s.stage == name)
+            .map(|s| s.duration)
+    }
+}
+
+/// The pipeline runner.
+pub struct Pipeline {
+    pub track: Track,
+    pub config: PipelineConfig,
+}
+
+impl Pipeline {
+    pub fn new(track: Track, config: PipelineConfig) -> Pipeline {
+        Pipeline { track, config }
+    }
+
+    /// Run the whole loop. Host CPU does the math; simulated time is
+    /// attributed per stage.
+    pub fn run(&self) -> PipelineReport {
+        let cfg = &self.config;
+        let mut stages = Vec::new();
+
+        // 1. Collect (student drives for the configured duration).
+        let collected = collect_session(&self.track, &cfg.collection);
+        stages.push(StageTiming {
+            stage: "collect".into(),
+            duration: SimDuration::from_secs(collected.session.duration_s),
+        });
+        let records_collected = collected.records.len();
+
+        // 2. Clean. The manual tubclean review plays the video back; charge
+        // 1/4 of the session length for the student's review pass.
+        let mut records = collected.records;
+        if cfg.clean {
+            let cleaner = TubCleaner::new(CleanConfig::default());
+            let report = cleaner.analyse(&records);
+            let flagged = report.flagged_ids();
+            records.retain(|r| !flagged.contains(&r.id));
+            stages.push(StageTiming {
+                stage: "clean".into(),
+                duration: SimDuration::from_secs(collected.session.duration_s / 4.0),
+            });
+        }
+        let records_cleaned = records.len();
+
+        // 3. Reserve the GPU node (on-demand; instant when capacity free).
+        let mut reservations = ReservationSystem::new(Site::chameleon());
+        let node_type = format!("gpu_{}", cfg.gpu.name().to_lowercase());
+        reservations
+            .on_demand("autolearn", &node_type, 1, SimTime::ZERO, 4.0 * 3600.0)
+            .expect("chameleon has free capacity in the default scenario");
+
+        // 4. Provision the CUDA image + rsync the tub up.
+        let upload = transfer_time(
+            &Path::car_to_cloud(),
+            &TransferSpec::rsync(tub_bytes_estimate(&records)),
+        );
+        let plan = ProvisioningPlan::cuda_image(upload);
+        stages.push(StageTiming {
+            stage: "provision+upload".into(),
+            duration: plan.total(),
+        });
+
+        // 5. Train (real math on host; device time attributed).
+        let mut model = CarModel::build(cfg.model_kind, &cfg.model);
+        let data = prepare_dataset(&records_to_dataset(&records, &cfg.model), model.input_spec());
+        let trainer = Trainer::new(cfg.train.clone());
+        let train_report = trainer.fit(&mut model, &data);
+        let cost = TrainingCostModel::new(
+            model.flops_per_inference(),
+            train_report.examples_seen,
+            cfg.train.batch_size as u64,
+        );
+        stages.push(StageTiming {
+            stage: "train".into(),
+            duration: training_time(&cost, &ComputeDevice::of_gpu(cfg.gpu)),
+        });
+
+        // 6. Ship the model: object store PUT from the GPU node, GET on the
+        // car (model JSON ≈ 4 B/param + structure).
+        let model_bytes = (model.param_count() * 4 + 4096) as u64;
+        let ship = transfer_time(
+            &Path::of_presets(&[autolearn_net::LinkPreset::Datacenter]),
+            &TransferSpec::object_store(model_bytes),
+        ) + transfer_time(
+            &Path::car_to_cloud(),
+            &TransferSpec::object_store(model_bytes),
+        );
+        stages.push(StageTiming {
+            stage: "deploy-model".into(),
+            duration: ship,
+        });
+
+        // 7. Evaluate: autonomous laps on the same kind of car that
+        // collected the data.
+        let (car, camera) = match cfg.collection.path {
+            CollectionPath::PhysicalCar => (
+                CarConfig::real_car(cfg.collection.seed ^ 0xe7a1),
+                cfg.collection
+                    .camera
+                    .clone()
+                    .with_noise(6.0, cfg.collection.seed ^ 0xe7a1),
+            ),
+            _ => (
+                CarConfig::default(),
+                cfg.collection.camera.clone(),
+            ),
+        };
+        let mut sim = Simulation::new(
+            self.track.clone(),
+            car,
+            camera,
+            DriveConfig {
+                store_images: false,
+                ..Default::default()
+            },
+        );
+        let mut pilot = ModelPilot::new(model);
+        let eval = sim.run_laps(&mut pilot, cfg.eval_laps, cfg.eval_max_duration_s);
+        stages.push(StageTiming {
+            stage: "evaluate".into(),
+            duration: SimDuration::from_secs(eval.duration_s),
+        });
+
+        PipelineReport {
+            stages,
+            records_collected,
+            records_cleaned,
+            train_report,
+            eval_laps: eval.completed_laps(),
+            eval_autonomy: eval.autonomy(),
+            eval_mean_speed: eval.mean_speed(),
+            eval_crashes: eval.crashes,
+            model: pilot.into_model(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autolearn_track::circle_track;
+
+    fn quick_config(seed: u64) -> PipelineConfig {
+        let mut cfg = PipelineConfig::lesson_default(seed);
+        cfg.collection.duration_s = 60.0;
+        cfg.train.epochs = 6;
+        cfg.eval_laps = 2;
+        cfg.eval_max_duration_s = 60.0;
+        cfg
+    }
+
+    #[test]
+    fn full_pipeline_trains_a_driving_model() {
+        let track = circle_track(3.0, 0.8);
+        let pipeline = Pipeline::new(track, quick_config(11));
+        let report = pipeline.run();
+
+        assert!(report.records_collected >= 1200);
+        assert!(report.records_cleaned <= report.records_collected);
+        assert!(report.train_report.best_val_loss.is_finite());
+        // The trained linear model must actually drive: most of the
+        // evaluation on-track.
+        assert!(
+            report.eval_autonomy > 0.85,
+            "autonomy {}",
+            report.eval_autonomy
+        );
+        assert!(report.eval_mean_speed > 0.2);
+
+        // All stages accounted.
+        for stage in ["collect", "clean", "provision+upload", "train", "deploy-model", "evaluate"] {
+            assert!(report.stage(stage).is_some(), "missing stage {stage}");
+        }
+        // Provisioning dominates a short lesson, as every Chameleon user
+        // knows.
+        assert!(
+            report.stage("provision+upload").unwrap().as_secs()
+                > report.stage("train").unwrap().as_secs()
+        );
+    }
+
+    #[test]
+    fn skipping_clean_keeps_all_records() {
+        let track = circle_track(3.0, 0.8);
+        let mut cfg = quick_config(12);
+        cfg.clean = false;
+        cfg.collection.duration_s = 30.0;
+        cfg.train.epochs = 2;
+        cfg.eval_laps = 1;
+        cfg.eval_max_duration_s = 20.0;
+        let report = Pipeline::new(track, cfg).run();
+        assert_eq!(report.records_cleaned, report.records_collected);
+        assert!(report.stage("clean").is_none());
+    }
+
+    #[test]
+    fn total_time_sums_stages() {
+        let track = circle_track(3.0, 0.8);
+        let mut cfg = quick_config(13);
+        cfg.collection.duration_s = 30.0;
+        cfg.train.epochs = 2;
+        cfg.eval_laps = 1;
+        cfg.eval_max_duration_s = 20.0;
+        let report = Pipeline::new(track, cfg).run();
+        let sum: f64 = report.stages.iter().map(|s| s.duration.as_secs()).sum();
+        assert!((report.total_time().as_secs() - sum).abs() < 1e-9);
+        // A lesson is tens of minutes of simulated time, not hours.
+        assert!(report.total_time().as_mins() > 10.0);
+        assert!(report.total_time().as_hours() < 3.0);
+    }
+}

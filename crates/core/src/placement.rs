@@ -1,0 +1,277 @@
+//! Inference placement: in-situ vs in-the-cloud vs hybrid.
+//!
+//! §3.3's evaluation extensions ask students to "attempt to run inference
+//! models in the cloud, constructing hybrid edge cloud inference models" —
+//! the trade-off the Zheng SC'23 poster explores end to end. The physics is
+//! simple and brutal: the drive loop runs at 20 Hz, and every millisecond
+//! of perceive→act latency is distance travelled blind.
+//!
+//! * **Edge**: inference on the car's Pi. No network, but the Pi is slow,
+//!   which caps the model size that holds 20 Hz.
+//! * **Cloud**: every frame crosses the network to a GPU; inference is
+//!   nearly free but the frame pays an RTT (+ jitter + retransmits).
+//! * **Hybrid**: the frame goes to the cloud with a deadline; if the reply
+//!   would miss it, the edge model's (already computed) answer is used.
+//!   Latency is therefore `min(deadline, rtt)`-shaped but never worse than
+//!   the edge path.
+
+use autolearn_cloud::hardware::ComputeDevice;
+use autolearn_cloud::perf::inference_latency;
+use autolearn_net::Path;
+use serde::{Deserialize, Serialize};
+
+/// Where inference runs.
+#[derive(Debug, Clone)]
+pub enum InferencePlacement {
+    Edge {
+        device: ComputeDevice,
+    },
+    Cloud {
+        gpu: ComputeDevice,
+        path: Path,
+        /// Camera frame bytes shipped per tick.
+        frame_bytes: u64,
+    },
+    Hybrid {
+        edge_device: ComputeDevice,
+        gpu: ComputeDevice,
+        path: Path,
+        frame_bytes: u64,
+        /// Cloud-reply deadline, s; replies later than this are dropped in
+        /// favour of the edge answer.
+        deadline_s: f64,
+    },
+}
+
+/// Summary latency statistics for a placement at a given model size.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PlacementLatency {
+    pub mean_s: f64,
+    pub p95_s: f64,
+    /// Fraction of ticks where the cloud reply made the deadline
+    /// (1.0 for pure edge, by convention).
+    pub cloud_hit_rate: f64,
+}
+
+impl InferencePlacement {
+    pub fn name(&self) -> &'static str {
+        match self {
+            InferencePlacement::Edge { .. } => "edge",
+            InferencePlacement::Cloud { .. } => "cloud",
+            InferencePlacement::Hybrid { .. } => "hybrid",
+        }
+    }
+
+    /// Monte-Carlo the per-tick perceive→act latency for a model with
+    /// `edge_flops` / `cloud_flops` per inference (they differ when the
+    /// hybrid runs a small edge model and a large cloud model).
+    pub fn latency(
+        &self,
+        edge_flops: u64,
+        cloud_flops: u64,
+        samples: usize,
+        seed: u64,
+    ) -> PlacementLatency {
+        match self {
+            InferencePlacement::Edge { device } => {
+                let l = inference_latency(edge_flops, device).as_secs();
+                PlacementLatency {
+                    mean_s: l,
+                    p95_s: l,
+                    cloud_hit_rate: 1.0,
+                }
+            }
+            InferencePlacement::Cloud {
+                gpu,
+                path,
+                frame_bytes,
+            } => {
+                let infer = inference_latency(cloud_flops, gpu).as_secs();
+                let mut rtts = path.rtt_sampler(seed);
+                let ser = *frame_bytes as f64 / path.bottleneck_bandwidth();
+                let lats: Vec<f64> = (0..samples)
+                    .map(|_| rtts.sample().as_secs() + ser + infer)
+                    .collect();
+                summarise(&lats, 1.0)
+            }
+            InferencePlacement::Hybrid {
+                edge_device,
+                gpu,
+                path,
+                frame_bytes,
+                deadline_s,
+            } => {
+                let edge_l = inference_latency(edge_flops, edge_device).as_secs();
+                let cloud_infer = inference_latency(cloud_flops, gpu).as_secs();
+                let ser = *frame_bytes as f64 / path.bottleneck_bandwidth();
+                let mut rtts = path.rtt_sampler(seed);
+                let mut hits = 0usize;
+                let lats: Vec<f64> = (0..samples)
+                    .map(|_| {
+                        let cloud_l = rtts.sample().as_secs() + ser + cloud_infer;
+                        if cloud_l <= *deadline_s {
+                            hits += 1;
+                            cloud_l.max(edge_l)
+                        } else {
+                            // Fall back to the edge answer, which was ready
+                            // at edge_l — the loop applies whatever answer
+                            // is newest at actuation time.
+                            edge_l
+                        }
+                    })
+                    .collect();
+                summarise(&lats, hits as f64 / samples as f64)
+            }
+        }
+    }
+}
+
+fn summarise(lats: &[f64], cloud_hit_rate: f64) -> PlacementLatency {
+    let mean = lats.iter().sum::<f64>() / lats.len() as f64;
+    PlacementLatency {
+        mean_s: mean,
+        p95_s: autolearn_util::percentile(lats, 95.0),
+        cloud_hit_rate,
+    }
+}
+
+/// The maximum speed at which the closed loop can hold the lane, given the
+/// total control latency and the track's tightest curvature. Derivation:
+/// during one latency period the car travels blind; requiring the blind
+/// arc's lateral drift to stay within half the lane margin gives
+/// `v ≤ sqrt(margin / (k * T^2))`-shaped scaling; we use the standard
+/// small-angle bound v = sqrt(2 * margin / (k * T²)) capped by the car's
+/// top speed.
+pub fn max_safe_speed(
+    latency_s: f64,
+    tick_s: f64,
+    max_curvature: f64,
+    lane_margin_m: f64,
+    top_speed: f64,
+) -> f64 {
+    let t = latency_s + tick_s; // effective reaction time
+    if t <= 0.0 || max_curvature <= 0.0 {
+        return top_speed;
+    }
+    let v = (2.0 * lane_margin_m / (max_curvature * t * t)).sqrt();
+    v.min(top_speed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autolearn_net::LinkPreset;
+
+    fn pi() -> ComputeDevice {
+        ComputeDevice::raspberry_pi4()
+    }
+
+    fn v100() -> ComputeDevice {
+        ComputeDevice::of_gpu(autolearn_cloud::hardware::GpuKind::V100)
+    }
+
+    const SMALL: u64 = 2_000_000; // linear-ish model
+    const LARGE: u64 = 100_000_000; // 3D-ish model
+
+    #[test]
+    fn edge_latency_is_deterministic_compute() {
+        let p = InferencePlacement::Edge { device: pi() };
+        let l = p.latency(SMALL, SMALL, 100, 1);
+        assert_eq!(l.mean_s, l.p95_s);
+        assert!(l.mean_s < 0.01, "small model on Pi: {}", l.mean_s);
+        assert_eq!(l.cloud_hit_rate, 1.0);
+    }
+
+    #[test]
+    fn cloud_pays_rtt_but_inference_is_free() {
+        let edge = InferencePlacement::Edge { device: pi() };
+        let cloud = InferencePlacement::Cloud {
+            gpu: v100(),
+            path: Path::car_to_cloud(),
+            frame_bytes: 1200,
+        };
+        // Small model: edge wins (RTT dominates).
+        let le = edge.latency(SMALL, SMALL, 500, 2);
+        let lc = cloud.latency(SMALL, SMALL, 500, 2);
+        assert!(lc.mean_s > le.mean_s, "cloud {} vs edge {}", lc.mean_s, le.mean_s);
+        // Huge model: cloud wins (Pi compute dominates).
+        let le_big = edge.latency(LARGE * 10, LARGE * 10, 500, 3);
+        let lc_big = cloud.latency(LARGE * 10, LARGE * 10, 500, 3);
+        assert!(lc_big.mean_s < le_big.mean_s);
+    }
+
+    #[test]
+    fn hybrid_never_worse_than_edge_and_uses_cloud_when_fast() {
+        let fast_path = Path::of_presets(&[LinkPreset::FabricManaged]);
+        let hybrid = InferencePlacement::Hybrid {
+            edge_device: pi(),
+            gpu: v100(),
+            path: fast_path,
+            frame_bytes: 1200,
+            deadline_s: 0.045,
+        };
+        let l = hybrid.latency(SMALL, LARGE, 500, 4);
+        // On a fast managed link the cloud almost always makes the deadline.
+        assert!(l.cloud_hit_rate > 0.95, "hit rate {}", l.cloud_hit_rate);
+        assert!(l.p95_s <= 0.05);
+
+        // On a lossy slow path, hybrid falls back to edge latency.
+        let slow = InferencePlacement::Hybrid {
+            edge_device: pi(),
+            gpu: v100(),
+            path: Path::new(vec![autolearn_net::Link {
+                name: "awful".into(),
+                latency_s: 0.2,
+                bandwidth_bps: 1e6,
+                jitter_s: 0.05,
+                loss: 0.1,
+            }]),
+            frame_bytes: 1200,
+            deadline_s: 0.045,
+        };
+        let ls = slow.latency(SMALL, LARGE, 500, 5);
+        assert!(ls.cloud_hit_rate < 0.05);
+        let edge_l = InferencePlacement::Edge { device: pi() }
+            .latency(SMALL, SMALL, 1, 0)
+            .mean_s;
+        assert!((ls.mean_s - edge_l).abs() < 1e-6, "fallback must cost edge latency");
+    }
+
+    #[test]
+    fn max_safe_speed_decreases_with_latency() {
+        let k = 1.0; // 1 m bend
+        let margin = 0.1;
+        let v0 = max_safe_speed(0.0, 0.05, k, margin, 3.5);
+        let v1 = max_safe_speed(0.3, 0.05, k, margin, 3.5);
+        let v2 = max_safe_speed(0.6, 0.05, k, margin, 3.5);
+        assert!(v0 > v1 && v1 > v2, "{v0} {v1} {v2}");
+        // Zero curvature → top speed regardless of latency.
+        assert_eq!(max_safe_speed(1.0, 0.05, 0.0, 0.3, 3.5), 3.5);
+        // Tiny latency → capped at top speed.
+        assert_eq!(max_safe_speed(0.0, 0.001, 0.1, 0.3, 3.5), 3.5);
+    }
+
+    #[test]
+    fn crossover_exists_in_model_size() {
+        // Sweep model size: edge beats cloud for small models, loses for
+        // large — the poster's headline trade-off.
+        let cloud = InferencePlacement::Cloud {
+            gpu: v100(),
+            path: Path::car_to_cloud(),
+            frame_bytes: 1200,
+        };
+        let edge = InferencePlacement::Edge { device: pi() };
+        let mut crossed = false;
+        let mut prev_edge_wins = true;
+        for flops in [1u64, 10, 100, 1000, 10_000].map(|m| m * 1_000_000) {
+            let e = edge.latency(flops, flops, 200, 6).mean_s;
+            let c = cloud.latency(flops, flops, 200, 6).mean_s;
+            let edge_wins = e < c;
+            if prev_edge_wins && !edge_wins {
+                crossed = true;
+            }
+            prev_edge_wins = edge_wins;
+        }
+        assert!(crossed, "no edge→cloud crossover found in sweep");
+    }
+}

@@ -1,0 +1,189 @@
+//! The container runtime on an edge device.
+//!
+//! CHI@Edge reconfigures BYOD devices "by deploying a Docker container
+//! rather than bare-metal reconfiguration" (§3.2), and AutoLearn ships a
+//! Docker image "which pre-installs all DonkeyCar dependencies" plus the
+//! Basic Jupyter Server Appliance, with "a built-in console in Jupyter for
+//! running commands on the Raspberry Pi" (§3.5).
+
+use autolearn_net::{transfer_time, Path, TransferSpec};
+use autolearn_util::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// A container image.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ImageSpec {
+    pub name: String,
+    pub bytes: u64,
+}
+
+impl ImageSpec {
+    /// The AutoLearn image: DonkeyCar deps + Jupyter server (§3.5), arm64.
+    pub fn autolearn() -> ImageSpec {
+        ImageSpec {
+            name: "autolearn/donkeycar-jupyter:latest".to_string(),
+            bytes: 850_000_000,
+        }
+    }
+}
+
+/// Container lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ContainerState {
+    Pulling,
+    Starting,
+    Running,
+    Exited,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContainerError {
+    NotRunning,
+    /// §3.5: "text editing is not supported in the console at the present
+    /// time" — the workaround the authors mention.
+    TextEditingUnsupported,
+}
+
+impl std::fmt::Display for ContainerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ContainerError::NotRunning => write!(f, "container is not running"),
+            ContainerError::TextEditingUnsupported => {
+                write!(f, "text editing is not supported in the console")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ContainerError {}
+
+/// A launched container.
+#[derive(Debug, Clone)]
+pub struct Container {
+    pub image: ImageSpec,
+    pub state: ContainerState,
+    /// Console command log (what students typed through Jupyter).
+    pub console_log: Vec<String>,
+}
+
+impl Container {
+    /// Execute a command via the built-in Jupyter console. Interactive
+    /// editors are refused, mirroring the limitation the paper reports.
+    pub fn console_exec(&mut self, command: &str) -> Result<String, ContainerError> {
+        if self.state != ContainerState::Running {
+            return Err(ContainerError::NotRunning);
+        }
+        let binary = command.split_whitespace().next().unwrap_or("");
+        if ["vi", "vim", "nano", "emacs"].contains(&binary) {
+            return Err(ContainerError::TextEditingUnsupported);
+        }
+        self.console_log.push(command.to_string());
+        Ok(format!("$ {command}\nok"))
+    }
+
+    pub fn stop(&mut self) {
+        self.state = ContainerState::Exited;
+    }
+}
+
+/// Per-device container runtime with an image cache.
+pub struct ContainerRuntime {
+    cached_images: Vec<String>,
+    /// Time to unpack + start a container on the Pi.
+    start_time: SimDuration,
+}
+
+impl Default for ContainerRuntime {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ContainerRuntime {
+    pub fn new() -> ContainerRuntime {
+        ContainerRuntime {
+            cached_images: Vec::new(),
+            start_time: SimDuration::from_secs(18.0),
+        }
+    }
+
+    pub fn image_cached(&self, image: &ImageSpec) -> bool {
+        self.cached_images.contains(&image.name)
+    }
+
+    /// Launch a container, returning it plus the launch latency (pull over
+    /// `net_path` if uncached, then start).
+    pub fn launch(&mut self, image: &ImageSpec, net_path: &Path) -> (Container, SimDuration) {
+        let pull = if self.image_cached(image) {
+            SimDuration::ZERO
+        } else {
+            self.cached_images.push(image.name.clone());
+            transfer_time(net_path, &TransferSpec::object_store(image.bytes))
+        };
+        (
+            Container {
+                image: image.clone(),
+                state: ContainerState::Running,
+                console_log: Vec::new(),
+            },
+            pull + self.start_time,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wifi() -> Path {
+        Path::car_to_cloud()
+    }
+
+    #[test]
+    fn first_launch_pulls_then_cache_hits() {
+        let mut rt = ContainerRuntime::new();
+        let img = ImageSpec::autolearn();
+        let (_, cold) = rt.launch(&img, &wifi());
+        assert!(rt.image_cached(&img));
+        let (_, warm) = rt.launch(&img, &wifi());
+        assert!(
+            cold.as_secs() > warm.as_secs() + 60.0,
+            "cold {cold} vs warm {warm}"
+        );
+        assert_eq!(warm.as_secs(), 18.0);
+    }
+
+    #[test]
+    fn cold_pull_of_850mb_over_wifi_is_minutes() {
+        let mut rt = ContainerRuntime::new();
+        let (_, cold) = rt.launch(&ImageSpec::autolearn(), &wifi());
+        assert!(
+            cold.as_mins() > 2.0 && cold.as_mins() < 15.0,
+            "cold launch {cold}"
+        );
+    }
+
+    #[test]
+    fn console_runs_commands_but_not_editors() {
+        let mut rt = ContainerRuntime::new();
+        let (mut c, _) = rt.launch(&ImageSpec::autolearn(), &wifi());
+        let out = c.console_exec("python manage.py drive").unwrap();
+        assert!(out.contains("manage.py"));
+        assert_eq!(
+            c.console_exec("vim config.py").unwrap_err(),
+            ContainerError::TextEditingUnsupported
+        );
+        assert_eq!(c.console_log.len(), 1);
+    }
+
+    #[test]
+    fn stopped_container_refuses_exec() {
+        let mut rt = ContainerRuntime::new();
+        let (mut c, _) = rt.launch(&ImageSpec::autolearn(), &wifi());
+        c.stop();
+        assert_eq!(
+            c.console_exec("ls").unwrap_err(),
+            ContainerError::NotRunning
+        );
+    }
+}

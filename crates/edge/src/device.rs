@@ -1,0 +1,216 @@
+//! Edge devices and their testbed lifecycle.
+
+use autolearn_cloud::hardware::ComputeDevice;
+use serde::{Deserialize, Serialize};
+
+/// Supported device classes (the cars carry Raspberry Pi 4s; Jetsons appear
+/// in CHI@Edge's wider catalog).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeviceKind {
+    RaspberryPi4,
+    JetsonNano,
+}
+
+impl DeviceKind {
+    pub fn compute(self) -> ComputeDevice {
+        match self {
+            DeviceKind::RaspberryPi4 => ComputeDevice::raspberry_pi4(),
+            DeviceKind::JetsonNano => ComputeDevice {
+                name: "JetsonNano".to_string(),
+                sustained_gflops: 200.0, // Maxwell GPU, fp32 sustained
+                call_overhead_s: 0.0008,
+            },
+        }
+    }
+}
+
+/// Where the device is in the BYOD lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeviceState {
+    /// Physical device in hand, nothing done.
+    Unregistered,
+    /// Registered with the testbed via the CLI utility; SD image issued.
+    Registered,
+    /// Booted; daemon connected to the testbed.
+    Connected,
+    /// Held by a reservation and running student containers.
+    InUse,
+    /// Daemon lost contact.
+    Offline,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceError {
+    WrongState {
+        expected: &'static str,
+        actual: DeviceState,
+    },
+    NotAuthorized(String),
+}
+
+impl std::fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeviceError::WrongState { expected, actual } => {
+                write!(f, "device must be {expected}, is {actual:?}")
+            }
+            DeviceError::NotAuthorized(p) => write!(f, "project {p} not on device whitelist"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+/// A BYOD edge device (the car's Pi).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EdgeDevice {
+    pub name: String,
+    pub kind: DeviceKind,
+    /// The user who added the device.
+    pub owner: String,
+    pub state: DeviceState,
+    /// Projects allowed to allocate this device ("whitelist-based access
+    /// policies for the added device", §3.2 — BYOD is *limited* sharing).
+    pub whitelist: Vec<String>,
+}
+
+impl EdgeDevice {
+    pub fn new(name: &str, kind: DeviceKind, owner: &str) -> EdgeDevice {
+        EdgeDevice {
+            name: name.to_string(),
+            kind,
+            owner: owner.to_string(),
+            state: DeviceState::Unregistered,
+            whitelist: Vec::new(),
+        }
+    }
+
+    /// CLI registration step.
+    pub fn register(&mut self, allowed_projects: &[&str]) -> Result<(), DeviceError> {
+        if self.state != DeviceState::Unregistered {
+            return Err(DeviceError::WrongState {
+                expected: "Unregistered",
+                actual: self.state,
+            });
+        }
+        self.whitelist = allowed_projects.iter().map(|s| s.to_string()).collect();
+        self.state = DeviceState::Registered;
+        Ok(())
+    }
+
+    /// Daemon phones home after first boot from the flashed SD image.
+    pub fn connect(&mut self) -> Result<(), DeviceError> {
+        match self.state {
+            DeviceState::Registered | DeviceState::Offline => {
+                self.state = DeviceState::Connected;
+                Ok(())
+            }
+            actual => Err(DeviceError::WrongState {
+                expected: "Registered or Offline",
+                actual,
+            }),
+        }
+    }
+
+    /// A project claims the device (via the standard Chameleon reservation
+    /// path — the car becomes "any other Chameleon resource", §3.3).
+    pub fn allocate(&mut self, project: &str) -> Result<(), DeviceError> {
+        if self.state != DeviceState::Connected {
+            return Err(DeviceError::WrongState {
+                expected: "Connected",
+                actual: self.state,
+            });
+        }
+        if !self.whitelist.iter().any(|p| p == project) {
+            return Err(DeviceError::NotAuthorized(project.to_string()));
+        }
+        self.state = DeviceState::InUse;
+        Ok(())
+    }
+
+    pub fn release(&mut self) {
+        if self.state == DeviceState::InUse {
+            self.state = DeviceState::Connected;
+        }
+    }
+
+    pub fn drop_offline(&mut self) {
+        if matches!(self.state, DeviceState::Connected | DeviceState::InUse) {
+            self.state = DeviceState::Offline;
+        }
+    }
+
+    pub fn compute(&self) -> ComputeDevice {
+        self.kind.compute()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn car_pi() -> EdgeDevice {
+        EdgeDevice::new("car-07", DeviceKind::RaspberryPi4, "prof")
+    }
+
+    #[test]
+    fn happy_path_lifecycle() {
+        let mut d = car_pi();
+        d.register(&["autolearn-class"]).unwrap();
+        assert_eq!(d.state, DeviceState::Registered);
+        d.connect().unwrap();
+        assert_eq!(d.state, DeviceState::Connected);
+        d.allocate("autolearn-class").unwrap();
+        assert_eq!(d.state, DeviceState::InUse);
+        d.release();
+        assert_eq!(d.state, DeviceState::Connected);
+    }
+
+    #[test]
+    fn whitelist_enforced() {
+        let mut d = car_pi();
+        d.register(&["autolearn-class"]).unwrap();
+        d.connect().unwrap();
+        let err = d.allocate("random-project").unwrap_err();
+        assert!(matches!(err, DeviceError::NotAuthorized(_)));
+        assert_eq!(d.state, DeviceState::Connected);
+    }
+
+    #[test]
+    fn cannot_allocate_before_connect() {
+        let mut d = car_pi();
+        d.register(&["p"]).unwrap();
+        assert!(matches!(
+            d.allocate("p"),
+            Err(DeviceError::WrongState { .. })
+        ));
+    }
+
+    #[test]
+    fn double_registration_rejected() {
+        let mut d = car_pi();
+        d.register(&["p"]).unwrap();
+        assert!(d.register(&["p"]).is_err());
+    }
+
+    #[test]
+    fn offline_and_reconnect() {
+        let mut d = car_pi();
+        d.register(&["p"]).unwrap();
+        d.connect().unwrap();
+        d.drop_offline();
+        assert_eq!(d.state, DeviceState::Offline);
+        d.connect().unwrap();
+        assert_eq!(d.state, DeviceState::Connected);
+    }
+
+    #[test]
+    fn pi_compute_profile() {
+        let d = car_pi();
+        assert_eq!(d.compute().name, "RasPi4");
+        assert!(
+            DeviceKind::JetsonNano.compute().sustained_gflops
+                > DeviceKind::RaspberryPi4.compute().sustained_gflops
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! CHI@Edge: the edge half of the continuum.
+//!
+//! §3.2/§3.5: devices join the testbed through the Bring-Your-Own-Device
+//! (BYOD) pathway — *"users can add devices to the testbed by downloading a
+//! CHI@Edge command line utility and SD card image; the utility registers
+//! the device with the testbed, and configures the SD card image to be
+//! flashed onto the device. Once booted up, the image contains a daemon
+//! that connects the device to the testbed and configures whitelist-based
+//! access policies"* — after which the device is reconfigured *"by
+//! deploying a Docker container rather than bare-metal reconfiguration"*.
+//!
+//! This crate models that lifecycle: [`device`] (the car's Raspberry Pi and
+//! its states), [`byod`] (the registration workflow and its timings,
+//! including the manual-setup baseline it replaces), and [`container`] (the
+//! Docker-ish runtime the AutoLearn image runs in, with the Jupyter console
+//! the students type into).
+
+pub mod byod;
+pub mod container;
+pub mod device;
+
+pub use byod::{ByodWorkflow, SetupStep, ZeroToReady};
+pub use container::{Container, ContainerError, ContainerRuntime, ContainerState, ImageSpec};
+pub use device::{DeviceError, DeviceKind, DeviceState, EdgeDevice};

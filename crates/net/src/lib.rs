@@ -1,0 +1,22 @@
+//! Flow-level network simulation for the edge-to-cloud continuum.
+//!
+//! The paper's pipeline moves data constantly: tubs rsync from the
+//! Raspberry Pi to a Chameleon GPU node, trained models download to the
+//! car, and (in the inference-placement extension) every camera frame may
+//! cross the network for remote inference. This crate models those flows:
+//!
+//! * [`Link`] — latency / bandwidth / jitter / loss of one hop, with
+//!   presets for the links the paper's deployment uses (campus WiFi from
+//!   the car, the Chameleon datacenter fabric, and a FABRIC-style
+//!   managed-latency link, §3.2),
+//! * [`Path`] — hop composition,
+//! * transfer-time modelling for bulk data (rsync/scp semantics with
+//!   handshake cost) and for small request/response messages (remote
+//!   inference RPCs),
+//! * RTT sampling with deterministic jitter for closed-loop experiments.
+
+pub mod link;
+pub mod transfer;
+
+pub use link::{Link, LinkPreset, Path};
+pub use transfer::{rpc_round_trip, transfer_time, TransferSpec};

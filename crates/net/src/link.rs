@@ -1,0 +1,270 @@
+//! Links and paths.
+
+use autolearn_util::rng::derive_rng;
+use autolearn_util::SimDuration;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One network hop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    pub name: String,
+    /// One-way propagation + queueing latency, s.
+    pub latency_s: f64,
+    /// Usable bandwidth, bytes/s.
+    pub bandwidth_bps: f64,
+    /// Latency jitter std-dev, s (one-way).
+    pub jitter_s: f64,
+    /// Packet-loss probability per message (retransmit adds an RTT).
+    pub loss: f64,
+}
+
+/// The links the paper's deployment actually crosses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LinkPreset {
+    /// Car's Raspberry Pi over campus 2.4 GHz WiFi.
+    CarWifi,
+    /// Campus network to the Chameleon site (CHI@UC / CHI@TACC over I2).
+    CampusToChameleon,
+    /// Inside the Chameleon datacenter fabric.
+    Datacenter,
+    /// A FABRIC-style managed-latency link (§3.2: "cloud experiments with
+    /// managed latency"). Latency is configurable; this preset's default
+    /// is 10 ms each way.
+    FabricManaged,
+    /// Localhost/on-board (edge inference).
+    Loopback,
+}
+
+impl LinkPreset {
+    pub fn link(self) -> Link {
+        match self {
+            LinkPreset::CarWifi => Link {
+                name: "car-wifi".into(),
+                latency_s: 0.004,
+                bandwidth_bps: 3.0e6, // ~24 Mbit/s usable
+                jitter_s: 0.002,
+                loss: 0.01,
+            },
+            LinkPreset::CampusToChameleon => Link {
+                name: "campus-chameleon".into(),
+                latency_s: 0.015,
+                bandwidth_bps: 60.0e6, // ~500 Mbit/s
+                jitter_s: 0.003,
+                loss: 0.001,
+            },
+            LinkPreset::Datacenter => Link {
+                name: "datacenter".into(),
+                latency_s: 0.0003,
+                bandwidth_bps: 1.2e9, // ~10 Gbit/s
+                jitter_s: 0.00005,
+                loss: 0.0,
+            },
+            LinkPreset::FabricManaged => Link {
+                name: "fabric-managed".into(),
+                latency_s: 0.010,
+                bandwidth_bps: 1.2e9,
+                jitter_s: 0.0002, // managed = low jitter
+                loss: 0.0,
+            },
+            LinkPreset::Loopback => Link {
+                name: "loopback".into(),
+                latency_s: 0.00005,
+                bandwidth_bps: 6.0e9,
+                jitter_s: 0.0,
+                loss: 0.0,
+            },
+        }
+    }
+}
+
+impl Link {
+    /// A FABRIC managed-latency link pinned to a specific one-way latency.
+    pub fn fabric_with_latency(latency_s: f64) -> Link {
+        Link {
+            latency_s,
+            ..LinkPreset::FabricManaged.link()
+        }
+    }
+}
+
+/// A multi-hop path: latencies/jitter add, bandwidth is the bottleneck,
+/// loss composes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Path {
+    pub hops: Vec<Link>,
+}
+
+impl Path {
+    pub fn new(hops: Vec<Link>) -> Path {
+        assert!(!hops.is_empty(), "path needs at least one hop");
+        Path { hops }
+    }
+
+    pub fn of_presets(presets: &[LinkPreset]) -> Path {
+        Path::new(presets.iter().map(|p| p.link()).collect())
+    }
+
+    /// The edge→cloud path the paper's car uses: WiFi then campus uplink.
+    pub fn car_to_cloud() -> Path {
+        Path::of_presets(&[LinkPreset::CarWifi, LinkPreset::CampusToChameleon])
+    }
+
+    pub fn one_way_latency(&self) -> f64 {
+        self.hops.iter().map(|h| h.latency_s).sum()
+    }
+
+    pub fn bottleneck_bandwidth(&self) -> f64 {
+        self.hops
+            .iter()
+            .map(|h| h.bandwidth_bps)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    pub fn jitter(&self) -> f64 {
+        // Independent jitters: variances add.
+        self.hops
+            .iter()
+            .map(|h| h.jitter_s * h.jitter_s)
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    pub fn loss(&self) -> f64 {
+        1.0 - self.hops.iter().map(|h| 1.0 - h.loss).product::<f64>()
+    }
+
+    /// Deterministic RTT sampler (seeded); loss events retransmit and add
+    /// a full extra round trip.
+    pub fn rtt_sampler(&self, seed: u64) -> RttSampler {
+        RttSampler {
+            base_rtt: 2.0 * self.one_way_latency(),
+            jitter: 2.0f64.sqrt() * self.jitter(),
+            loss: self.loss(),
+            rng: derive_rng(seed, "rtt"),
+        }
+    }
+}
+
+/// Stream of RTT samples.
+pub struct RttSampler {
+    base_rtt: f64,
+    jitter: f64,
+    loss: f64,
+    rng: StdRng,
+}
+
+impl RttSampler {
+    /// TCP-style retransmit cap: after this many losses the message is
+    /// abandoned and retried at application level — modelled as one more
+    /// full timeout. Also guards against `loss == 1.0` looping forever.
+    const MAX_RETX: u32 = 8;
+
+    pub fn sample(&mut self) -> SimDuration {
+        let mut rtt = self.base_rtt;
+        if self.jitter > 0.0 {
+            // Half-normal-ish positive jitter: queueing only adds delay.
+            let j: f64 = self.rng.gen_range(0.0..1.0) + self.rng.gen_range(0.0..1.0);
+            rtt += j * self.jitter;
+        }
+        // Retransmits, capped.
+        let mut retx = 0;
+        while self.loss > 0.0 && retx < Self::MAX_RETX && self.rng.gen::<f64>() < self.loss {
+            rtt += self.base_rtt;
+            retx += 1;
+        }
+        SimDuration::from_secs(rtt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered_sensibly() {
+        let wifi = LinkPreset::CarWifi.link();
+        let dc = LinkPreset::Datacenter.link();
+        let lo = LinkPreset::Loopback.link();
+        assert!(wifi.latency_s > dc.latency_s);
+        assert!(dc.latency_s > lo.latency_s);
+        assert!(wifi.bandwidth_bps < dc.bandwidth_bps);
+    }
+
+    #[test]
+    fn path_composition() {
+        let p = Path::car_to_cloud();
+        assert!((p.one_way_latency() - 0.019).abs() < 1e-9);
+        assert_eq!(p.bottleneck_bandwidth(), 3.0e6);
+        assert!(p.loss() > 0.01 && p.loss() < 0.012);
+        assert!(p.jitter() > 0.002 && p.jitter() < 0.005);
+    }
+
+    #[test]
+    fn fabric_latency_is_configurable() {
+        let l = Link::fabric_with_latency(0.025);
+        assert_eq!(l.latency_s, 0.025);
+        assert_eq!(l.jitter_s, LinkPreset::FabricManaged.link().jitter_s);
+    }
+
+    #[test]
+    fn rtt_sampler_centered_on_base() {
+        let p = Path::of_presets(&[LinkPreset::FabricManaged]);
+        let mut s = p.rtt_sampler(1);
+        let base = 2.0 * p.one_way_latency();
+        for _ in 0..100 {
+            let rtt = s.sample().as_secs();
+            assert!(rtt >= base - 1e-12, "rtt {rtt} below base {base}");
+            assert!(rtt < base + 0.01, "rtt {rtt} wildly above base");
+        }
+    }
+
+    #[test]
+    fn rtt_sampler_deterministic() {
+        let p = Path::car_to_cloud();
+        let mut a = p.rtt_sampler(9);
+        let mut b = p.rtt_sampler(9);
+        for _ in 0..32 {
+            assert_eq!(a.sample(), b.sample());
+        }
+    }
+
+    #[test]
+    fn lossy_path_sometimes_retransmits() {
+        let p = Path::new(vec![Link {
+            name: "lossy".into(),
+            latency_s: 0.01,
+            bandwidth_bps: 1e6,
+            jitter_s: 0.0,
+            loss: 0.3,
+        }]);
+        let mut s = p.rtt_sampler(4);
+        let base = 0.02;
+        let with_retx = (0..200)
+            .filter(|_| s.sample().as_secs() > base + 1e-9)
+            .count();
+        assert!(with_retx > 20, "expected retransmits, saw {with_retx}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hop")]
+    fn empty_path_rejected() {
+        let _ = Path::new(vec![]);
+    }
+
+    #[test]
+    fn total_loss_terminates_with_bounded_rtt() {
+        // loss = 1.0 must not loop forever: capped at MAX_RETX timeouts.
+        let p = Path::new(vec![Link {
+            name: "dead".into(),
+            latency_s: 0.01,
+            bandwidth_bps: 1e6,
+            jitter_s: 0.0,
+            loss: 1.0,
+        }]);
+        let mut s = p.rtt_sampler(1);
+        let rtt = s.sample().as_secs();
+        assert!((rtt - 0.02 * 9.0).abs() < 1e-9, "rtt {rtt}");
+    }
+}

@@ -1,0 +1,114 @@
+//! Bulk-transfer and RPC timing models.
+
+use crate::link::Path;
+use autolearn_util::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// A bulk transfer (the paper's "copies the training data using rsync").
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TransferSpec {
+    pub bytes: u64,
+    /// Per-connection setup cost (ssh handshake + rsync file scan), s.
+    pub handshake_s: f64,
+    /// Protocol efficiency (TCP+ssh overhead), fraction of bandwidth
+    /// actually delivered to payload.
+    pub efficiency: f64,
+}
+
+impl TransferSpec {
+    /// rsync-over-ssh defaults.
+    pub fn rsync(bytes: u64) -> TransferSpec {
+        TransferSpec {
+            bytes,
+            handshake_s: 1.2,
+            efficiency: 0.85,
+        }
+    }
+
+    /// Object-store PUT/GET (HTTP, keep-alive).
+    pub fn object_store(bytes: u64) -> TransferSpec {
+        TransferSpec {
+            bytes,
+            handshake_s: 0.15,
+            efficiency: 0.9,
+        }
+    }
+}
+
+/// Time to move `spec` across `path`: handshake + latency + serialisation
+/// at the bottleneck.
+pub fn transfer_time(path: &Path, spec: &TransferSpec) -> SimDuration {
+    let serialisation =
+        spec.bytes as f64 / (path.bottleneck_bandwidth() * spec.efficiency.clamp(0.05, 1.0));
+    SimDuration::from_secs(spec.handshake_s + path.one_way_latency() + serialisation)
+}
+
+/// Round-trip time for a small request/response pair (remote inference):
+/// request serialisation + RTT + response serialisation.
+pub fn rpc_round_trip(path: &Path, request_bytes: u64, response_bytes: u64) -> SimDuration {
+    let bw = path.bottleneck_bandwidth();
+    let ser = (request_bytes + response_bytes) as f64 / bw;
+    SimDuration::from_secs(2.0 * path.one_way_latency() + ser)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::{Link, LinkPreset};
+
+    fn flat_path(bw: f64, latency: f64) -> Path {
+        Path::new(vec![Link {
+            name: "test".into(),
+            latency_s: latency,
+            bandwidth_bps: bw,
+            jitter_s: 0.0,
+            loss: 0.0,
+        }])
+    }
+
+    #[test]
+    fn transfer_scales_with_size() {
+        let p = flat_path(1e6, 0.01);
+        let small = transfer_time(&p, &TransferSpec::rsync(1_000_000));
+        let large = transfer_time(&p, &TransferSpec::rsync(10_000_000));
+        assert!(large.as_secs() > small.as_secs());
+        // 10 MB at 1 MB/s × 0.85 ≈ 11.8 s + handshake.
+        assert!((large.as_secs() - (1.2 + 0.01 + 10.0 / 0.85)).abs() < 0.1);
+    }
+
+    #[test]
+    fn handshake_dominates_tiny_transfers() {
+        let p = flat_path(1e9, 0.001);
+        let t = transfer_time(&p, &TransferSpec::rsync(1024));
+        assert!((t.as_secs() - 1.2).abs() < 0.01);
+        let o = transfer_time(&p, &TransferSpec::object_store(1024));
+        assert!(o.as_secs() < t.as_secs());
+    }
+
+    #[test]
+    fn rpc_cost_is_rtt_plus_serialisation() {
+        let p = flat_path(1e6, 0.005);
+        // 10 kB frame + 16 B response at 1 MB/s ≈ 10 ms + 10 ms RTT.
+        let t = rpc_round_trip(&p, 10_000, 16);
+        assert!((t.as_secs() - (0.010 + 0.010016)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn realistic_tub_upload_takes_minutes_on_wifi() {
+        // A 20k-record tub of 40x30 grayscale ≈ 20000 * 1.2 kB ≈ 24 MB
+        // plus JSON; call it 30 MB. Over the car's WiFi path.
+        let p = Path::car_to_cloud();
+        let t = transfer_time(&p, &TransferSpec::rsync(30_000_000));
+        assert!(
+            t.as_secs() > 5.0 && t.as_secs() < 60.0,
+            "30 MB over WiFi took {t}"
+        );
+    }
+
+    #[test]
+    fn datacenter_rpc_is_sub_millisecond() {
+        let p = Path::of_presets(&[LinkPreset::Datacenter]);
+        let t = rpc_round_trip(&p, 5_000, 16);
+        assert!(t.as_secs() < 0.001, "{t}");
+    }
+}

@@ -1,0 +1,251 @@
+//! 2-D convolution (valid padding, square stride), CHW layout.
+
+use super::{Layer, Param};
+use crate::init::glorot_uniform;
+use crate::tensor::Tensor;
+use rand::Rng;
+use rayon::prelude::*;
+
+/// Convolution over `[batch, in_ch, H, W]` with kernel
+/// `[filters, in_ch, k, k]` and stride `s` (valid padding), producing
+/// `[batch, filters, OH, OW]`.
+pub struct Conv2D {
+    pub w: Param,
+    pub b: Param,
+    in_ch: usize,
+    filters: usize,
+    k: usize,
+    stride: usize,
+    cache_x: Option<Tensor>,
+}
+
+impl Conv2D {
+    pub fn new(in_ch: usize, filters: usize, k: usize, stride: usize, rng: &mut impl Rng) -> Conv2D {
+        assert!(k >= 1 && stride >= 1);
+        let fan_in = in_ch * k * k;
+        let fan_out = filters * k * k;
+        Conv2D {
+            w: Param::new(glorot_uniform(
+                &[filters, in_ch, k, k],
+                fan_in,
+                fan_out,
+                rng,
+            )),
+            b: Param::new(Tensor::zeros(&[filters])),
+            in_ch,
+            filters,
+            k,
+            stride,
+            cache_x: None,
+        }
+    }
+
+    fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        assert!(
+            h >= self.k && w >= self.k,
+            "input {h}x{w} smaller than kernel {}",
+            self.k
+        );
+        ((h - self.k) / self.stride + 1, (w - self.k) / self.stride + 1)
+    }
+}
+
+impl Layer for Conv2D {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(x.rank(), 4, "Conv2D expects [batch, ch, h, w]");
+        let (batch, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        assert_eq!(c, self.in_ch, "Conv2D channel mismatch");
+        let (oh, ow) = self.out_hw(h, w);
+        let (f, k, s) = (self.filters, self.k, self.stride);
+
+        let mut out = vec![0.0f32; batch * f * oh * ow];
+        let xin = x.data();
+        let wv = self.w.value.data();
+        let bv = self.b.value.data();
+
+        out.par_chunks_mut(f * oh * ow).enumerate().for_each(|(bi, ob)| {
+            let xb = &xin[bi * c * h * w..(bi + 1) * c * h * w];
+            for fi in 0..f {
+                let wf = &wv[fi * c * k * k..(fi + 1) * c * k * k];
+                let bias = bv[fi];
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = bias;
+                        for ci in 0..c {
+                            let xc = &xb[ci * h * w..(ci + 1) * h * w];
+                            let wc = &wf[ci * k * k..(ci + 1) * k * k];
+                            for ky in 0..k {
+                                let row = (oy * s + ky) * w + ox * s;
+                                let xr = &xc[row..row + k];
+                                let wr = &wc[ky * k..ky * k + k];
+                                for (xv, wvv) in xr.iter().zip(wr) {
+                                    acc += xv * wvv;
+                                }
+                            }
+                        }
+                        ob[fi * oh * ow + oy * ow + ox] = acc;
+                    }
+                }
+            }
+        });
+
+        self.cache_x = Some(x.clone());
+        Tensor::from_vec(&[batch, f, oh, ow], out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self.cache_x.as_ref().expect("backward before forward");
+        let (batch, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        let (f, k, s) = (self.filters, self.k, self.stride);
+        let (oh, ow) = self.out_hw(h, w);
+        assert_eq!(grad_out.shape(), &[batch, f, oh, ow]);
+
+        let xin = x.data();
+        let gout = grad_out.data();
+        let wv = self.w.value.data();
+        let wlen = f * c * k * k;
+
+        // Per-batch partials computed in parallel, reduced at the end:
+        // (dx for the example, dw partial, db partial).
+        let partials: Vec<(Vec<f32>, Vec<f32>, Vec<f32>)> = (0..batch)
+            .into_par_iter()
+            .map(|bi| {
+                let xb = &xin[bi * c * h * w..(bi + 1) * c * h * w];
+                let gb = &gout[bi * f * oh * ow..(bi + 1) * f * oh * ow];
+                let mut dxb = vec![0.0f32; c * h * w];
+                let mut dwb = vec![0.0f32; wlen];
+                let mut dbb = vec![0.0f32; f];
+                for fi in 0..f {
+                    let gf = &gb[fi * oh * ow..(fi + 1) * oh * ow];
+                    let wf = &wv[fi * c * k * k..(fi + 1) * c * k * k];
+                    let dwf = &mut dwb[fi * c * k * k..(fi + 1) * c * k * k];
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let g = gf[oy * ow + ox];
+                            if g == 0.0 {
+                                continue;
+                            }
+                            dbb[fi] += g;
+                            for ci in 0..c {
+                                let xoff = ci * h * w;
+                                let woff = ci * k * k;
+                                for ky in 0..k {
+                                    let irow = (oy * s + ky) * w + ox * s;
+                                    for kx in 0..k {
+                                        dwf[woff + ky * k + kx] += g * xb[xoff + irow + kx];
+                                        dxb[xoff + irow + kx] += g * wf[woff + ky * k + kx];
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                (dxb, dwb, dbb)
+            })
+            .collect();
+
+        let mut dx = vec![0.0f32; batch * c * h * w];
+        {
+            let dwg = self.w.grad.data_mut();
+            let dbg = self.b.grad.data_mut();
+            for (bi, (dxb, dwb, dbb)) in partials.into_iter().enumerate() {
+                dx[bi * c * h * w..(bi + 1) * c * h * w].copy_from_slice(&dxb);
+                for (a, b) in dwg.iter_mut().zip(&dwb) {
+                    *a += b;
+                }
+                for (a, b) in dbg.iter_mut().zip(&dbb) {
+                    *a += b;
+                }
+            }
+        }
+        Tensor::from_vec(&[batch, c, h, w], dx)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w, &mut self.b]
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        let (oh, ow) = self.out_hw(input_shape[2], input_shape[3]);
+        vec![input_shape[0], self.filters, oh, ow]
+    }
+
+    fn flops_per_example(&self, input_shape: &[usize]) -> u64 {
+        let (oh, ow) = self.out_hw(input_shape[2], input_shape[3]);
+        // 2 flops per MAC over every output element's receptive field.
+        (2 * self.filters * self.in_ch * self.k * self.k * oh * ow) as u64
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "Conv2D({}→{}, {}x{}/{})",
+            self.in_ch, self.filters, self.k, self.k, self.stride
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::gradcheck;
+    use autolearn_util::rng::rng_from_seed;
+
+    #[test]
+    fn identity_kernel_passthrough() {
+        let mut rng = rng_from_seed(1);
+        let mut conv = Conv2D::new(1, 1, 1, 1, &mut rng);
+        conv.w.value = Tensor::from_vec(&[1, 1, 1, 1], vec![1.0]);
+        conv.b.value.fill(0.0);
+        let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let y = conv.forward(&x, false);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn known_3x3_convolution() {
+        let mut rng = rng_from_seed(2);
+        let mut conv = Conv2D::new(1, 1, 2, 1, &mut rng);
+        conv.w.value = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 0.0, 0.0, 1.0]);
+        conv.b.value = Tensor::from_vec(&[1], vec![0.5]);
+        // 3x3 input, 2x2 kernel picking main diagonal + bias.
+        let x = Tensor::from_vec(
+            &[1, 1, 3, 3],
+            vec![1., 2., 3., 4., 5., 6., 7., 8., 9.],
+        );
+        let y = conv.forward(&x, false);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[1. + 5. + 0.5, 2. + 6. + 0.5, 4. + 8. + 0.5, 5. + 9. + 0.5]);
+    }
+
+    #[test]
+    fn stride_reduces_output() {
+        let mut rng = rng_from_seed(3);
+        let conv = Conv2D::new(3, 8, 3, 2, &mut rng);
+        assert_eq!(conv.output_shape(&[2, 3, 11, 15]), vec![2, 8, 5, 7]);
+    }
+
+    #[test]
+    fn gradients_match_finite_difference() {
+        let mut rng = rng_from_seed(4);
+        let mut conv = Conv2D::new(2, 3, 3, 2, &mut rng);
+        let x = Tensor::randn(&[2, 2, 7, 7], 1.0, &mut rng);
+        gradcheck::check_input_grad(&mut conv, &x, 3e-2);
+        gradcheck::check_param_grads(&mut conv, &x, 3e-2);
+    }
+
+    #[test]
+    fn flops_counts_macs() {
+        let mut rng = rng_from_seed(5);
+        let conv = Conv2D::new(1, 1, 2, 1, &mut rng);
+        // 2x2 output, 2x2 kernel, 1 channel: 2*1*1*4*4 = 32.
+        assert_eq!(conv.flops_per_example(&[1, 1, 3, 3]), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than kernel")]
+    fn rejects_too_small_input() {
+        let mut rng = rng_from_seed(6);
+        let mut conv = Conv2D::new(1, 1, 5, 1, &mut rng);
+        let _ = conv.forward(&Tensor::zeros(&[1, 1, 3, 3]), false);
+    }
+}

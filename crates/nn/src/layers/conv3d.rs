@@ -1,0 +1,254 @@
+//! 3-D convolution over image sequences, for the DonkeyCar "3D" model.
+
+use super::{Layer, Param};
+use crate::init::glorot_uniform;
+use crate::tensor::Tensor;
+use rand::Rng;
+use rayon::prelude::*;
+
+/// Convolution over `[batch, in_ch, T, H, W]` with kernel
+/// `[filters, in_ch, kt, k, k]`, stride `(st, s, s)`, valid padding.
+pub struct Conv3D {
+    pub w: Param,
+    pub b: Param,
+    in_ch: usize,
+    filters: usize,
+    kt: usize,
+    k: usize,
+    st: usize,
+    s: usize,
+    cache_x: Option<Tensor>,
+}
+
+impl Conv3D {
+    pub fn new(
+        in_ch: usize,
+        filters: usize,
+        kt: usize,
+        k: usize,
+        st: usize,
+        s: usize,
+        rng: &mut impl Rng,
+    ) -> Conv3D {
+        assert!(kt >= 1 && k >= 1 && st >= 1 && s >= 1);
+        let fan_in = in_ch * kt * k * k;
+        let fan_out = filters * kt * k * k;
+        Conv3D {
+            w: Param::new(glorot_uniform(
+                &[filters, in_ch, kt, k, k],
+                fan_in,
+                fan_out,
+                rng,
+            )),
+            b: Param::new(Tensor::zeros(&[filters])),
+            in_ch,
+            filters,
+            kt,
+            k,
+            st,
+            s,
+            cache_x: None,
+        }
+    }
+
+    fn out_dims(&self, t: usize, h: usize, w: usize) -> (usize, usize, usize) {
+        assert!(
+            t >= self.kt && h >= self.k && w >= self.k,
+            "input {t}x{h}x{w} smaller than kernel {}x{}x{}",
+            self.kt,
+            self.k,
+            self.k
+        );
+        (
+            (t - self.kt) / self.st + 1,
+            (h - self.k) / self.s + 1,
+            (w - self.k) / self.s + 1,
+        )
+    }
+}
+
+impl Layer for Conv3D {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(x.rank(), 5, "Conv3D expects [batch, ch, t, h, w]");
+        let (batch, c, t, h, w) = (
+            x.shape()[0],
+            x.shape()[1],
+            x.shape()[2],
+            x.shape()[3],
+            x.shape()[4],
+        );
+        assert_eq!(c, self.in_ch);
+        let (ot, oh, ow) = self.out_dims(t, h, w);
+        let (f, kt, k, st, s) = (self.filters, self.kt, self.k, self.st, self.s);
+
+        let xin = x.data();
+        let wv = self.w.value.data();
+        let bv = self.b.value.data();
+        let mut out = vec![0.0f32; batch * f * ot * oh * ow];
+
+        out.par_chunks_mut(f * ot * oh * ow)
+            .enumerate()
+            .for_each(|(bi, ob)| {
+                let xb = &xin[bi * c * t * h * w..(bi + 1) * c * t * h * w];
+                for fi in 0..f {
+                    let wf = &wv[fi * c * kt * k * k..(fi + 1) * c * kt * k * k];
+                    let bias = bv[fi];
+                    for oz in 0..ot {
+                        for oy in 0..oh {
+                            for ox in 0..ow {
+                                let mut acc = bias;
+                                for ci in 0..c {
+                                    for kz in 0..kt {
+                                        let zoff = ci * t * h * w + (oz * st + kz) * h * w;
+                                        let woff = ci * kt * k * k + kz * k * k;
+                                        for ky in 0..k {
+                                            let row = zoff + (oy * s + ky) * w + ox * s;
+                                            for kx in 0..k {
+                                                acc += xb[row + kx] * wf[woff + ky * k + kx];
+                                            }
+                                        }
+                                    }
+                                }
+                                ob[fi * ot * oh * ow + oz * oh * ow + oy * ow + ox] = acc;
+                            }
+                        }
+                    }
+                }
+            });
+
+        self.cache_x = Some(x.clone());
+        Tensor::from_vec(&[batch, f, ot, oh, ow], out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self.cache_x.as_ref().expect("backward before forward");
+        let (batch, c, t, h, w) = (
+            x.shape()[0],
+            x.shape()[1],
+            x.shape()[2],
+            x.shape()[3],
+            x.shape()[4],
+        );
+        let (f, kt, k, st, s) = (self.filters, self.kt, self.k, self.st, self.s);
+        let (ot, oh, ow) = self.out_dims(t, h, w);
+
+        let xin = x.data();
+        let gout = grad_out.data();
+        let wv = self.w.value.data();
+        let wlen = f * c * kt * k * k;
+
+        let partials: Vec<(Vec<f32>, Vec<f32>, Vec<f32>)> = (0..batch)
+            .into_par_iter()
+            .map(|bi| {
+                let xb = &xin[bi * c * t * h * w..(bi + 1) * c * t * h * w];
+                let gb = &gout[bi * f * ot * oh * ow..(bi + 1) * f * ot * oh * ow];
+                let mut dxb = vec![0.0f32; c * t * h * w];
+                let mut dwb = vec![0.0f32; wlen];
+                let mut dbb = vec![0.0f32; f];
+                for fi in 0..f {
+                    let gf = &gb[fi * ot * oh * ow..(fi + 1) * ot * oh * ow];
+                    let wf = &wv[fi * c * kt * k * k..(fi + 1) * c * kt * k * k];
+                    let dwf = &mut dwb[fi * c * kt * k * k..(fi + 1) * c * kt * k * k];
+                    for oz in 0..ot {
+                        for oy in 0..oh {
+                            for ox in 0..ow {
+                                let g = gf[oz * oh * ow + oy * ow + ox];
+                                if g == 0.0 {
+                                    continue;
+                                }
+                                dbb[fi] += g;
+                                for ci in 0..c {
+                                    for kz in 0..kt {
+                                        let zoff = ci * t * h * w + (oz * st + kz) * h * w;
+                                        let woff = ci * kt * k * k + kz * k * k;
+                                        for ky in 0..k {
+                                            let row = zoff + (oy * s + ky) * w + ox * s;
+                                            for kx in 0..k {
+                                                dwf[woff + ky * k + kx] += g * xb[row + kx];
+                                                dxb[row + kx] += g * wf[woff + ky * k + kx];
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                (dxb, dwb, dbb)
+            })
+            .collect();
+
+        let mut dx = vec![0.0f32; batch * c * t * h * w];
+        {
+            let dwg = self.w.grad.data_mut();
+            let dbg = self.b.grad.data_mut();
+            for (bi, (dxb, dwb, dbb)) in partials.into_iter().enumerate() {
+                dx[bi * c * t * h * w..(bi + 1) * c * t * h * w].copy_from_slice(&dxb);
+                for (a, b) in dwg.iter_mut().zip(&dwb) {
+                    *a += b;
+                }
+                for (a, b) in dbg.iter_mut().zip(&dbb) {
+                    *a += b;
+                }
+            }
+        }
+        Tensor::from_vec(&[batch, c, t, h, w], dx)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w, &mut self.b]
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        let (ot, oh, ow) = self.out_dims(input_shape[2], input_shape[3], input_shape[4]);
+        vec![input_shape[0], self.filters, ot, oh, ow]
+    }
+
+    fn flops_per_example(&self, input_shape: &[usize]) -> u64 {
+        let (ot, oh, ow) = self.out_dims(input_shape[2], input_shape[3], input_shape[4]);
+        (2 * self.filters * self.in_ch * self.kt * self.k * self.k * ot * oh * ow) as u64
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "Conv3D({}→{}, {}x{}x{}/{}x{})",
+            self.in_ch, self.filters, self.kt, self.k, self.k, self.st, self.s
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::gradcheck;
+    use autolearn_util::rng::rng_from_seed;
+
+    #[test]
+    fn output_dims() {
+        let mut rng = rng_from_seed(1);
+        let conv = Conv3D::new(1, 4, 2, 3, 1, 2, &mut rng);
+        assert_eq!(conv.output_shape(&[2, 1, 3, 9, 9]), vec![2, 4, 2, 4, 4]);
+    }
+
+    #[test]
+    fn temporal_sum_kernel() {
+        let mut rng = rng_from_seed(2);
+        let mut conv = Conv3D::new(1, 1, 2, 1, 1, 1, &mut rng);
+        conv.w.value = Tensor::from_vec(&[1, 1, 2, 1, 1], vec![1.0, 1.0]);
+        conv.b.value.fill(0.0);
+        // Two 1x1 frames of values 3 and 4 → single output 7.
+        let x = Tensor::from_vec(&[1, 1, 2, 1, 1], vec![3.0, 4.0]);
+        let y = conv.forward(&x, false);
+        assert_eq!(y.shape(), &[1, 1, 1, 1, 1]);
+        assert_eq!(y.data(), &[7.0]);
+    }
+
+    #[test]
+    fn gradients_match_finite_difference() {
+        let mut rng = rng_from_seed(3);
+        let mut conv = Conv3D::new(1, 2, 2, 2, 1, 1, &mut rng);
+        let x = Tensor::randn(&[2, 1, 3, 4, 4], 1.0, &mut rng);
+        gradcheck::check_input_grad(&mut conv, &x, 4e-2);
+        gradcheck::check_param_grads(&mut conv, &x, 4e-2);
+    }
+}

@@ -1,0 +1,283 @@
+//! LSTM over feature sequences.
+//!
+//! DonkeyCar's RNN model runs a time-distributed conv trunk over the last
+//! few camera frames and feeds the per-frame features to an LSTM; the final
+//! hidden state drives the steering/throttle heads. This layer consumes
+//! `[batch, time, features]` and returns the last hidden state
+//! `[batch, hidden]`, with full backpropagation-through-time.
+
+use super::{Layer, Param};
+use crate::init::{glorot_uniform, recurrent_init};
+use crate::tensor::Tensor;
+use rand::Rng;
+
+struct StepCache {
+    x: Tensor,      // [B, F]
+    h_prev: Tensor, // [B, H]
+    c_prev: Tensor, // [B, H]
+    i: Vec<f32>,
+    f: Vec<f32>,
+    g: Vec<f32>,
+    o: Vec<f32>,
+    tanh_c: Vec<f32>,
+}
+
+/// Single-layer LSTM, Keras gate order (i, f, g, o), returning the final
+/// hidden state.
+pub struct Lstm {
+    pub w: Param, // input kernel  [F, 4H]
+    pub u: Param, // recurrent     [H, 4H]
+    pub b: Param, // bias          [4H]
+    in_dim: usize,
+    hidden: usize,
+    cache: Vec<StepCache>,
+}
+
+impl Lstm {
+    pub fn new(in_dim: usize, hidden: usize, rng: &mut impl Rng) -> Lstm {
+        let mut b = Tensor::zeros(&[4 * hidden]);
+        // Keras unit_forget_bias: forget gate biased open at init.
+        for j in hidden..2 * hidden {
+            b.data_mut()[j] = 1.0;
+        }
+        Lstm {
+            w: Param::new(glorot_uniform(
+                &[in_dim, 4 * hidden],
+                in_dim,
+                4 * hidden,
+                rng,
+            )),
+            u: Param::new(recurrent_init(hidden, 4 * hidden, rng)),
+            b: Param::new(b),
+            in_dim,
+            hidden,
+            cache: Vec::new(),
+        }
+    }
+
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+}
+
+#[inline]
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl Layer for Lstm {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(x.rank(), 3, "Lstm expects [batch, time, features]");
+        let (batch, time, feat) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+        assert_eq!(feat, self.in_dim, "Lstm feature width");
+        let h = self.hidden;
+
+        self.cache.clear();
+        let mut h_t = Tensor::zeros(&[batch, h]);
+        let mut c_t = Tensor::zeros(&[batch, h]);
+
+        for t in 0..time {
+            // Slice x[:, t, :] -> [B, F].
+            let mut xt = Tensor::zeros(&[batch, feat]);
+            for bi in 0..batch {
+                let src = &x.data()[(bi * time + t) * feat..(bi * time + t + 1) * feat];
+                xt.data_mut()[bi * feat..(bi + 1) * feat].copy_from_slice(src);
+            }
+
+            let z = {
+                let mut z = xt.matmul(&self.w.value);
+                let zr = h_t.matmul(&self.u.value);
+                z.add_scaled(&zr, 1.0);
+                let bv = self.b.value.data();
+                for row in z.data_mut().chunks_mut(4 * h) {
+                    for (v, &bb) in row.iter_mut().zip(bv) {
+                        *v += bb;
+                    }
+                }
+                z
+            };
+
+            let mut iv = vec![0.0f32; batch * h];
+            let mut fv = vec![0.0f32; batch * h];
+            let mut gv = vec![0.0f32; batch * h];
+            let mut ov = vec![0.0f32; batch * h];
+            let mut c_next = Tensor::zeros(&[batch, h]);
+            let mut h_next = Tensor::zeros(&[batch, h]);
+            let mut tanh_c = vec![0.0f32; batch * h];
+            for bi in 0..batch {
+                let zr = &z.data()[bi * 4 * h..(bi + 1) * 4 * h];
+                for j in 0..h {
+                    let i_g = sigmoid(zr[j]);
+                    let f_g = sigmoid(zr[h + j]);
+                    let g_g = zr[2 * h + j].tanh();
+                    let o_g = sigmoid(zr[3 * h + j]);
+                    let c_new = f_g * c_t.data()[bi * h + j] + i_g * g_g;
+                    let tc = c_new.tanh();
+                    iv[bi * h + j] = i_g;
+                    fv[bi * h + j] = f_g;
+                    gv[bi * h + j] = g_g;
+                    ov[bi * h + j] = o_g;
+                    tanh_c[bi * h + j] = tc;
+                    c_next.data_mut()[bi * h + j] = c_new;
+                    h_next.data_mut()[bi * h + j] = o_g * tc;
+                }
+            }
+
+            self.cache.push(StepCache {
+                x: xt,
+                h_prev: h_t.clone(),
+                c_prev: c_t.clone(),
+                i: iv,
+                f: fv,
+                g: gv,
+                o: ov,
+                tanh_c,
+            });
+            h_t = h_next;
+            c_t = c_next;
+        }
+        h_t
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let time = self.cache.len();
+        assert!(time > 0, "backward before forward");
+        let batch = grad_out.shape()[0];
+        let h = self.hidden;
+        let f_dim = self.in_dim;
+
+        let mut dh = grad_out.clone(); // [B, H]
+        let mut dc = Tensor::zeros(&[batch, h]);
+        let mut dx_all = Tensor::zeros(&[batch, time, f_dim]);
+
+        for t in (0..time).rev() {
+            let cache = &self.cache[t];
+            let mut dz = Tensor::zeros(&[batch, 4 * h]);
+            for bi in 0..batch {
+                for j in 0..h {
+                    let idx = bi * h + j;
+                    let i_g = cache.i[idx];
+                    let f_g = cache.f[idx];
+                    let g_g = cache.g[idx];
+                    let o_g = cache.o[idx];
+                    let tc = cache.tanh_c[idx];
+                    let dh_v = dh.data()[idx];
+
+                    let do_ = dh_v * tc;
+                    let dc_total = dc.data()[idx] + dh_v * o_g * (1.0 - tc * tc);
+                    let di = dc_total * g_g;
+                    let dg = dc_total * i_g;
+                    let df = dc_total * cache.c_prev.data()[idx];
+                    // Carry cell grad to t-1.
+                    dc.data_mut()[idx] = dc_total * f_g;
+
+                    let zr = &mut dz.data_mut()[bi * 4 * h..(bi + 1) * 4 * h];
+                    zr[j] = di * i_g * (1.0 - i_g);
+                    zr[h + j] = df * f_g * (1.0 - f_g);
+                    zr[2 * h + j] = dg * (1.0 - g_g * g_g);
+                    zr[3 * h + j] = do_ * o_g * (1.0 - o_g);
+                }
+            }
+
+            // Parameter gradients.
+            let dw = cache.x.transpose2().matmul(&dz);
+            self.w.grad.add_scaled(&dw, 1.0);
+            let du = cache.h_prev.transpose2().matmul(&dz);
+            self.u.grad.add_scaled(&du, 1.0);
+            {
+                let db = self.b.grad.data_mut();
+                for row in dz.data().chunks(4 * h) {
+                    for (a, &g) in db.iter_mut().zip(row) {
+                        *a += g;
+                    }
+                }
+            }
+
+            // Input gradient for this timestep.
+            let dxt = dz.matmul(&self.w.value.transpose2());
+            for bi in 0..batch {
+                let dst = &mut dx_all.data_mut()
+                    [(bi * time + t) * f_dim..(bi * time + t + 1) * f_dim];
+                dst.copy_from_slice(&dxt.data()[bi * f_dim..(bi + 1) * f_dim]);
+            }
+
+            // Recurrent gradient to t-1's hidden state.
+            dh = dz.matmul(&self.u.value.transpose2());
+        }
+        dx_all
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w, &mut self.u, &mut self.b]
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        vec![input_shape[0], self.hidden]
+    }
+
+    fn flops_per_example(&self, input_shape: &[usize]) -> u64 {
+        let t = input_shape[1] as u64;
+        let f = self.in_dim as u64;
+        let h = self.hidden as u64;
+        // Per step: x·W (2·F·4H) + h·U (2·H·4H) + gate math (~10·H).
+        t * (2 * f * 4 * h + 2 * h * 4 * h + 10 * h)
+    }
+
+    fn name(&self) -> String {
+        format!("Lstm({}→{})", self.in_dim, self.hidden)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::gradcheck;
+    use autolearn_util::rng::rng_from_seed;
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = rng_from_seed(1);
+        let mut lstm = Lstm::new(6, 4, &mut rng);
+        let x = Tensor::randn(&[3, 5, 6], 1.0, &mut rng);
+        let y = lstm.forward(&x, true);
+        assert_eq!(y.shape(), &[3, 4]);
+        // Hidden state bounded by tanh envelope.
+        assert!(y.data().iter().all(|&v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn gradients_match_finite_difference() {
+        let mut rng = rng_from_seed(2);
+        let mut lstm = Lstm::new(3, 2, &mut rng);
+        let x = Tensor::randn(&[2, 3, 3], 1.0, &mut rng);
+        gradcheck::check_input_grad(&mut lstm, &x, 4e-2);
+        gradcheck::check_param_grads(&mut lstm, &x, 4e-2);
+    }
+
+    #[test]
+    fn longer_history_changes_output() {
+        let mut rng = rng_from_seed(3);
+        let mut lstm = Lstm::new(2, 3, &mut rng);
+        let x1 = Tensor::full(&[1, 1, 2], 0.5);
+        let x3 = Tensor::full(&[1, 3, 2], 0.5);
+        let y1 = lstm.forward(&x1, false);
+        let y3 = lstm.forward(&x3, false);
+        let diff: f32 = y1
+            .data()
+            .iter()
+            .zip(y3.data())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(diff > 1e-4, "state must integrate over time");
+    }
+
+    #[test]
+    fn forget_bias_initialised_open() {
+        let mut rng = rng_from_seed(4);
+        let lstm = Lstm::new(2, 3, &mut rng);
+        for j in 3..6 {
+            assert_eq!(lstm.b.value.data()[j], 1.0);
+        }
+        assert_eq!(lstm.b.value.data()[0], 0.0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Loss functions.
+//!
+//! Each returns `(loss, grad)` where the loss is averaged over the batch and
+//! `grad` is dLoss/dPrediction with the same shape as the prediction.
+
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Loss {
+    /// Mean squared error over all elements.
+    Mse,
+    /// Softmax + categorical cross-entropy. Predictions are raw logits
+    /// `[batch, classes]`; targets are one-hot (or soft) distributions.
+    SoftmaxCrossEntropy,
+}
+
+impl Loss {
+    pub fn compute(self, pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+        assert_eq!(pred.shape(), target.shape(), "loss shape mismatch");
+        match self {
+            Loss::Mse => mse(pred, target),
+            Loss::SoftmaxCrossEntropy => softmax_ce(pred, target),
+        }
+    }
+}
+
+fn mse(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    let n = pred.len() as f32;
+    let loss: f32 = pred
+        .data()
+        .iter()
+        .zip(target.data())
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum::<f32>()
+        / n;
+    let grad = pred.zip(target, |p, t| 2.0 * (p - t) / n);
+    (loss, grad)
+}
+
+/// Numerically-stable softmax of each row.
+pub fn softmax_rows(logits: &Tensor) -> Tensor {
+    let cols = logits.shape()[logits.rank() - 1];
+    let mut out = logits.clone();
+    for row in out.data_mut().chunks_mut(cols) {
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    out
+}
+
+fn softmax_ce(logits: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    let batch = logits.dim0() as f32;
+    let probs = softmax_rows(logits);
+    let mut loss = 0.0f32;
+    for (p, t) in probs.data().iter().zip(target.data()) {
+        if *t > 0.0 {
+            loss -= t * p.max(1e-12).ln();
+        }
+    }
+    // d/dlogits of mean CE = (softmax - target) / batch.
+    let grad = probs.zip(target, |p, t| (p - t) / batch);
+    (loss / batch, grad)
+}
+
+/// One-hot encode class indices into `[batch, classes]`.
+pub fn one_hot(indices: &[usize], classes: usize) -> Tensor {
+    let mut t = Tensor::zeros(&[indices.len(), classes]);
+    for (i, &c) in indices.iter().enumerate() {
+        assert!(c < classes, "class {c} out of range {classes}");
+        t.data_mut()[i * classes + c] = 1.0;
+    }
+    t
+}
+
+/// Linear binning of a continuous value in [lo, hi] into `bins` classes —
+/// how KerasCategorical discretises steering/throttle.
+pub fn bin_value(v: f32, lo: f32, hi: f32, bins: usize) -> usize {
+    let t = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
+    ((t * bins as f32) as usize).min(bins - 1)
+}
+
+/// Midpoint of bin `i` — the inverse of [`bin_value`] used at inference.
+pub fn unbin_value(i: usize, lo: f32, hi: f32, bins: usize) -> f32 {
+    lo + (hi - lo) * (i as f32 + 0.5) / bins as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_zero_at_target() {
+        let p = Tensor::from_vec(&[2, 2], vec![1., 2., 3., 4.]);
+        let (l, g) = Loss::Mse.compute(&p, &p);
+        assert_eq!(l, 0.0);
+        assert!(g.data().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn mse_value_and_grad() {
+        let p = Tensor::from_vec(&[1, 2], vec![1.0, 3.0]);
+        let t = Tensor::from_vec(&[1, 2], vec![0.0, 0.0]);
+        let (l, g) = Loss::Mse.compute(&p, &t);
+        assert!((l - 5.0).abs() < 1e-6); // (1 + 9)/2
+        assert!((g.data()[0] - 1.0).abs() < 1e-6); // 2*1/2
+        assert!((g.data()[1] - 3.0).abs() < 1e-6); // 2*3/2
+    }
+
+    #[test]
+    fn mse_grad_matches_finite_difference() {
+        let p = Tensor::from_vec(&[2, 3], vec![0.5, -1.0, 2.0, 0.0, 1.5, -0.5]);
+        let t = Tensor::from_vec(&[2, 3], vec![0.0, 0.0, 1.0, 1.0, 1.0, 1.0]);
+        let (_, g) = Loss::Mse.compute(&p, &t);
+        let eps = 1e-3;
+        for i in 0..p.len() {
+            let mut pp = p.clone();
+            pp.data_mut()[i] += eps;
+            let (lp, _) = Loss::Mse.compute(&pp, &t);
+            let mut pm = p.clone();
+            pm.data_mut()[i] -= eps;
+            let (lm, _) = Loss::Mse.compute(&pm, &t);
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - g.data()[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Tensor::from_vec(&[2, 3], vec![1., 2., 3., -5., 0., 5.]);
+        let p = softmax_rows(&logits);
+        for row in p.data().chunks(3) {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+            assert!(row.iter().all(|&v| v > 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_stable_for_large_logits() {
+        let logits = Tensor::from_vec(&[1, 2], vec![1000.0, 1000.0]);
+        let p = softmax_rows(&logits);
+        assert!((p.data()[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ce_minimised_at_correct_class() {
+        let good = Tensor::from_vec(&[1, 3], vec![10.0, 0.0, 0.0]);
+        let bad = Tensor::from_vec(&[1, 3], vec![0.0, 10.0, 0.0]);
+        let target = one_hot(&[0], 3);
+        let (lg, _) = Loss::SoftmaxCrossEntropy.compute(&good, &target);
+        let (lb, _) = Loss::SoftmaxCrossEntropy.compute(&bad, &target);
+        assert!(lg < 0.01);
+        assert!(lb > 5.0);
+    }
+
+    #[test]
+    fn ce_grad_matches_finite_difference() {
+        let logits = Tensor::from_vec(&[2, 3], vec![0.5, -0.2, 0.1, 1.0, 0.0, -1.0]);
+        let target = one_hot(&[2, 0], 3);
+        let (_, g) = Loss::SoftmaxCrossEntropy.compute(&logits, &target);
+        let eps = 1e-3;
+        for i in 0..logits.len() {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let (vp, _) = Loss::SoftmaxCrossEntropy.compute(&lp, &target);
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let (vm, _) = Loss::SoftmaxCrossEntropy.compute(&lm, &target);
+            let num = (vp - vm) / (2.0 * eps);
+            assert!(
+                (num - g.data()[i]).abs() < 1e-3,
+                "grad[{i}] {} vs {num}",
+                g.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn binning_roundtrip() {
+        // DonkeyCar steering: 15 bins over [-1, 1].
+        for &v in &[-1.0f32, -0.51, 0.0, 0.49, 1.0] {
+            let b = bin_value(v, -1.0, 1.0, 15);
+            let back = unbin_value(b, -1.0, 1.0, 15);
+            assert!((back - v).abs() <= 2.0 / 15.0, "{v} -> bin {b} -> {back}");
+        }
+        assert_eq!(bin_value(-1.0, -1.0, 1.0, 15), 0);
+        assert_eq!(bin_value(1.0, -1.0, 1.0, 15), 14);
+        assert_eq!(bin_value(5.0, -1.0, 1.0, 15), 14); // clamps
+    }
+
+    #[test]
+    fn one_hot_shape() {
+        let t = one_hot(&[1, 0], 3);
+        assert_eq!(t.shape(), &[2, 3]);
+        assert_eq!(t.data(), &[0., 1., 0., 1., 0., 0.]);
+    }
+}

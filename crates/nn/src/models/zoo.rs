@@ -1,0 +1,680 @@
+//! `CarModel`: one implementation covering all six DonkeyCar architectures.
+
+use super::{DonkeyModel, InferredThrottle, InputSpec, ModelConfig, ModelKind};
+use crate::data::Batch;
+use crate::layers::{
+    Activation, ActivationLayer, Conv2D, Conv3D, Dense, Dropout, Flatten, Layer, Lstm,
+    TimeDistributed,
+};
+use crate::loss::{bin_value, one_hot, softmax_rows, unbin_value, Loss};
+use crate::optim::Optimizer;
+use crate::sequential::Sequential;
+use crate::tensor::Tensor;
+use autolearn_util::rng::derive_rng;
+use serde::{Deserialize, Serialize};
+
+/// Concatenate two `[B, a]` / `[B, b]` tensors into `[B, a+b]`.
+fn concat_cols(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.dim0(), b.dim0());
+    let (batch, wa, wb) = (a.dim0(), a.example_len(), b.example_len());
+    let mut out = Vec::with_capacity(batch * (wa + wb));
+    for i in 0..batch {
+        out.extend_from_slice(a.example(i));
+        out.extend_from_slice(b.example(i));
+    }
+    Tensor::from_vec(&[batch, wa + wb], out)
+}
+
+/// Split the gradient of a column-concat back into the two halves.
+fn split_cols(g: &Tensor, wa: usize) -> (Tensor, Tensor) {
+    let batch = g.dim0();
+    let w = g.example_len();
+    let wb = w - wa;
+    let mut ga = Vec::with_capacity(batch * wa);
+    let mut gb = Vec::with_capacity(batch * wb);
+    for i in 0..batch {
+        let row = g.example(i);
+        ga.extend_from_slice(&row[..wa]);
+        gb.extend_from_slice(&row[wa..]);
+    }
+    (
+        Tensor::from_vec(&[batch, wa], ga),
+        Tensor::from_vec(&[batch, wb], gb),
+    )
+}
+
+/// One of the six DonkeyCar models. Construct with [`CarModel::build`].
+pub struct CarModel {
+    kind: ModelKind,
+    cfg: ModelConfig,
+    /// Image (or image-sequence) feature extractor → `[B, feat_dim]`.
+    trunk: Sequential,
+    /// Memory model only: dense stack applied after concatenating the
+    /// control history onto the trunk features.
+    merge: Option<Sequential>,
+    head_s: Sequential,
+    head_t: Option<Sequential>,
+    feat_dim: usize,
+    pub inferred_throttle: InferredThrottle,
+}
+
+impl CarModel {
+    /// Build a model of `kind` with the given config.
+    pub fn build(kind: ModelKind, cfg: &ModelConfig) -> CarModel {
+        let mut rng = derive_rng(cfg.seed, kind.name());
+        let (c, h, w) = (cfg.channels, cfg.height, cfg.width);
+
+        // Shared 2-D conv feature stack (scaled-down DonkeyCar default).
+        let conv_stack = |rng: &mut rand::rngs::StdRng| -> (Sequential, usize) {
+            let mut s = Sequential::new();
+            s.add(Conv2D::new(c, 8, 5, 2, rng));
+            s.add(ActivationLayer::new(Activation::Relu));
+            s.add(Conv2D::new(8, 16, 3, 2, rng));
+            s.add(ActivationLayer::new(Activation::Relu));
+            s.add(Conv2D::new(16, 32, 3, 2, rng));
+            s.add(ActivationLayer::new(Activation::Relu));
+            s.add(Flatten::new());
+            let flat = s.output_shape(&[1, c, h, w])[1];
+            (s, flat)
+        };
+
+        let mut merge = None;
+        let (trunk, feat_dim) = match kind {
+            ModelKind::Linear | ModelKind::Categorical | ModelKind::Inferred => {
+                let (mut s, flat) = conv_stack(&mut rng);
+                s.add(Dense::new(flat, 64, &mut rng));
+                s.add(ActivationLayer::new(Activation::Relu));
+                s.add(Dropout::new(cfg.dropout, cfg.seed ^ 0xd0));
+                (s, 64)
+            }
+            ModelKind::Memory => {
+                let (mut s, flat) = conv_stack(&mut rng);
+                s.add(Dense::new(flat, 64, &mut rng));
+                s.add(ActivationLayer::new(Activation::Relu));
+                let mut m = Sequential::new();
+                m.add(Dense::new(64 + 2 * cfg.history, 64, &mut rng));
+                m.add(ActivationLayer::new(Activation::Relu));
+                m.add(Dropout::new(cfg.dropout, cfg.seed ^ 0xd1));
+                merge = Some(m);
+                (s, 64)
+            }
+            ModelKind::Rnn => {
+                let (mut inner, flat) = conv_stack(&mut rng);
+                inner.add(Dense::new(flat, 64, &mut rng));
+                inner.add(ActivationLayer::new(Activation::Relu));
+                let mut s = Sequential::new();
+                s.add(TimeDistributed::new(Box::new(inner)));
+                s.add(Lstm::new(64, 32, &mut rng));
+                (s, 32)
+            }
+            ModelKind::ThreeD => {
+                assert!(cfg.seq_len >= 3, "3D model needs seq_len >= 3");
+                let mut s = Sequential::new();
+                s.add(Conv3D::new(c, 8, 2, 5, 1, 2, &mut rng));
+                s.add(ActivationLayer::new(Activation::Relu));
+                s.add(Conv3D::new(8, 16, 2, 3, 1, 2, &mut rng));
+                s.add(ActivationLayer::new(Activation::Relu));
+                s.add(Flatten::new());
+                let flat = s.output_shape(&[1, c, cfg.seq_len, h, w])[1];
+                s.add(Dense::new(flat, 64, &mut rng));
+                s.add(ActivationLayer::new(Activation::Relu));
+                (s, 64)
+            }
+        };
+
+        let (head_s, head_t) = match kind {
+            ModelKind::Categorical => {
+                let mut hs = Sequential::new();
+                hs.add(Dense::new(feat_dim, cfg.steering_bins, &mut rng));
+                let mut ht = Sequential::new();
+                ht.add(Dense::new(feat_dim, cfg.throttle_bins, &mut rng));
+                (hs, Some(ht))
+            }
+            ModelKind::Inferred => {
+                let mut hs = Sequential::new();
+                hs.add(Dense::new(feat_dim, 1, &mut rng));
+                hs.add(ActivationLayer::new(Activation::Tanh));
+                (hs, None)
+            }
+            _ => {
+                let mut hs = Sequential::new();
+                hs.add(Dense::new(feat_dim, 1, &mut rng));
+                hs.add(ActivationLayer::new(Activation::Tanh));
+                let mut ht = Sequential::new();
+                ht.add(Dense::new(feat_dim, 1, &mut rng));
+                ht.add(ActivationLayer::new(Activation::Sigmoid));
+                (hs, Some(ht))
+            }
+        };
+
+        CarModel {
+            kind,
+            cfg: cfg.clone(),
+            trunk,
+            merge,
+            head_s,
+            head_t,
+            feat_dim,
+            inferred_throttle: InferredThrottle::default(),
+        }
+    }
+
+    pub fn config(&self) -> &ModelConfig {
+        &self.cfg
+    }
+
+    /// Shape of the primary (image) input for a single example.
+    fn image_input_shape(&self, batch: usize) -> Vec<usize> {
+        let ModelConfig {
+            height,
+            width,
+            channels,
+            seq_len,
+            ..
+        } = self.cfg;
+        match self.kind {
+            ModelKind::Rnn => vec![batch, seq_len, channels, height, width],
+            ModelKind::ThreeD => vec![batch, channels, seq_len, height, width],
+            _ => vec![batch, channels, height, width],
+        }
+    }
+
+    /// Forward pass to the shared feature vector, handling the Memory
+    /// concat. Returns features `[B, feat]`.
+    fn features(&mut self, inputs: &[Tensor], train: bool) -> Tensor {
+        let img = &inputs[0];
+        // The RNN wants [B, T, C, H, W]; ThreeD wants [B, C, T, H, W].
+        // Sequence datasets provide [B, T, C, H, W]; transpose for ThreeD.
+        let img = if self.kind == ModelKind::ThreeD {
+            transpose_time_channel(img)
+        } else {
+            img.clone()
+        };
+        let feat = self.trunk.forward(&img, train);
+        match (&mut self.merge, inputs.get(1)) {
+            (Some(merge), Some(hist)) => {
+                let joined = concat_cols(&feat, hist);
+                merge.forward(&joined, train)
+            }
+            (Some(_), None) => panic!("Memory model requires a history input"),
+            _ => feat,
+        }
+    }
+
+    /// Backward from a feature-gradient through merge + trunk.
+    fn backward_features(&mut self, d_feat: &Tensor) {
+        let d_trunk_out = match &mut self.merge {
+            Some(merge) => {
+                let d_joined = merge.backward(d_feat);
+                let (d_img_feat, _d_hist) = split_cols(&d_joined, self.feat_dim);
+                d_img_feat
+            }
+            None => d_feat.clone(),
+        };
+        let _ = self.trunk.backward(&d_trunk_out);
+    }
+
+    fn all_params(&mut self) -> Vec<&mut crate::layers::Param> {
+        let mut ps = self.trunk.params_mut();
+        if let Some(m) = &mut self.merge {
+            ps.extend(m.params_mut());
+        }
+        ps.extend(self.head_s.params_mut());
+        if let Some(t) = &mut self.head_t {
+            ps.extend(t.params_mut());
+        }
+        ps
+    }
+
+    /// Encode regression targets `[B, 1]`.
+    fn regression_targets(values: &[f32]) -> Tensor {
+        Tensor::from_vec(&[values.len(), 1], values.to_vec())
+    }
+
+    fn forward_loss(&mut self, batch: &Batch, train: bool) -> (f32, Option<(Tensor, Tensor)>) {
+        let feat = self.features(&batch.inputs, train);
+        let s_out = self.head_s.forward(&feat, train);
+        let t_out = self.head_t.as_mut().map(|h| h.forward(&feat, train));
+
+        match self.kind {
+            ModelKind::Categorical => {
+                let s_target = one_hot(
+                    &batch
+                        .steering
+                        .iter()
+                        .map(|&v| bin_value(v, -1.0, 1.0, self.cfg.steering_bins))
+                        .collect::<Vec<_>>(),
+                    self.cfg.steering_bins,
+                );
+                let t_target = one_hot(
+                    &batch
+                        .throttle
+                        .iter()
+                        .map(|&v| bin_value(v, 0.0, 1.0, self.cfg.throttle_bins))
+                        .collect::<Vec<_>>(),
+                    self.cfg.throttle_bins,
+                );
+                let (ls, gs) = Loss::SoftmaxCrossEntropy.compute(&s_out, &s_target);
+                let (lt, gt) =
+                    Loss::SoftmaxCrossEntropy.compute(t_out.as_ref().unwrap(), &t_target);
+                (ls + lt, Some((gs, gt)))
+            }
+            ModelKind::Inferred => {
+                let s_target = Self::regression_targets(&batch.steering);
+                let (ls, gs) = Loss::Mse.compute(&s_out, &s_target);
+                (ls, Some((gs, Tensor::zeros(&[batch.len(), 1]))))
+            }
+            _ => {
+                let s_target = Self::regression_targets(&batch.steering);
+                let t_target = Self::regression_targets(&batch.throttle);
+                let (ls, gs) = Loss::Mse.compute(&s_out, &s_target);
+                let (lt, gt) = Loss::Mse.compute(t_out.as_ref().unwrap(), &t_target);
+                (ls + lt, Some((gs, gt)))
+            }
+        }
+    }
+}
+
+/// `[B, T, C, H, W] -> [B, C, T, H, W]` for the Conv3D stack.
+fn transpose_time_channel(x: &Tensor) -> Tensor {
+    assert_eq!(x.rank(), 5);
+    let (b, t, c, h, w) = (
+        x.shape()[0],
+        x.shape()[1],
+        x.shape()[2],
+        x.shape()[3],
+        x.shape()[4],
+    );
+    let hw = h * w;
+    let mut out = vec![0.0f32; x.len()];
+    let xd = x.data();
+    for bi in 0..b {
+        for ti in 0..t {
+            for ci in 0..c {
+                let src = ((bi * t + ti) * c + ci) * hw;
+                let dst = ((bi * c + ci) * t + ti) * hw;
+                out[dst..dst + hw].copy_from_slice(&xd[src..src + hw]);
+            }
+        }
+    }
+    Tensor::from_vec(&[b, c, t, h, w], out)
+}
+
+impl DonkeyModel for CarModel {
+    fn kind(&self) -> ModelKind {
+        self.kind
+    }
+
+    fn input_spec(&self) -> InputSpec {
+        match self.kind {
+            ModelKind::Rnn | ModelKind::ThreeD => InputSpec::Sequence(self.cfg.seq_len),
+            ModelKind::Memory => InputSpec::FramesWithHistory(self.cfg.history),
+            _ => InputSpec::Frames,
+        }
+    }
+
+    fn train_batch(&mut self, batch: &Batch, opt: &mut dyn Optimizer) -> f32 {
+        let (loss, grads) = self.forward_loss(batch, true);
+        let (gs, gt) = grads.expect("training grads");
+        let mut d_feat = self.head_s.backward(&gs);
+        if let Some(head_t) = &mut self.head_t {
+            let d2 = head_t.backward(&gt);
+            d_feat.add_scaled(&d2, 1.0);
+        }
+        self.backward_features(&d_feat);
+        let mut params = self.all_params();
+        opt.step(&mut params);
+        loss
+    }
+
+    fn eval_batch(&mut self, batch: &Batch) -> f32 {
+        self.forward_loss(batch, false).0
+    }
+
+    fn predict(&mut self, inputs: &[Tensor]) -> Vec<(f32, f32)> {
+        let feat = self.features(inputs, false);
+        let s_out = self.head_s.forward(&feat, false);
+        let t_out = self.head_t.as_mut().map(|h| h.forward(&feat, false));
+        let n = feat.dim0();
+
+        match self.kind {
+            ModelKind::Categorical => {
+                let sp = softmax_rows(&s_out);
+                let tp = softmax_rows(t_out.as_ref().unwrap());
+                let si = sp.argmax_per_example();
+                let ti = tp.argmax_per_example();
+                (0..n)
+                    .map(|i| {
+                        (
+                            unbin_value(si[i], -1.0, 1.0, self.cfg.steering_bins),
+                            unbin_value(ti[i], 0.0, 1.0, self.cfg.throttle_bins),
+                        )
+                    })
+                    .collect()
+            }
+            ModelKind::Inferred => (0..n)
+                .map(|i| {
+                    let s = s_out.data()[i].clamp(-1.0, 1.0);
+                    (s, self.inferred_throttle.throttle_for(s))
+                })
+                .collect(),
+            _ => {
+                let t_out = t_out.unwrap();
+                (0..n)
+                    .map(|i| {
+                        (
+                            s_out.data()[i].clamp(-1.0, 1.0),
+                            t_out.data()[i].clamp(0.0, 1.0),
+                        )
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    fn flops_per_inference(&self) -> u64 {
+        let img_shape = self.image_input_shape(1);
+        let mut total = self.trunk.flops_per_example(&img_shape);
+        let feat_shape = vec![1usize, self.feat_dim];
+        if let Some(m) = &self.merge {
+            total += m.flops_per_example(&[1, self.feat_dim + 2 * self.cfg.history]);
+        }
+        total += self.head_s.flops_per_example(&feat_shape);
+        if let Some(t) = &self.head_t {
+            total += t.flops_per_example(&feat_shape);
+        }
+        total
+    }
+
+    fn param_count(&mut self) -> usize {
+        self.all_params().iter().map(|p| p.value.len()).sum()
+    }
+
+    fn state_dict(&mut self) -> Vec<Vec<f32>> {
+        self.all_params()
+            .iter()
+            .map(|p| p.value.data().to_vec())
+            .collect()
+    }
+
+    fn load_state(&mut self, state: &[Vec<f32>]) {
+        let mut params = self.all_params();
+        assert_eq!(params.len(), state.len(), "state dict arity mismatch");
+        for (p, s) in params.iter_mut().zip(state) {
+            assert_eq!(p.value.len(), s.len(), "state dict shape mismatch");
+            p.value.data_mut().copy_from_slice(s);
+        }
+    }
+}
+
+/// Serialisable snapshot of a trained model (what AutoLearn stores in the
+/// object store as a "pre-trained model" artifact).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SavedModel {
+    pub kind: ModelKind,
+    pub config: ModelConfig,
+    pub weights: Vec<Vec<f32>>,
+}
+
+impl SavedModel {
+    pub fn capture(model: &mut CarModel) -> SavedModel {
+        SavedModel {
+            kind: model.kind(),
+            config: model.config().clone(),
+            weights: model.state_dict(),
+        }
+    }
+
+    pub fn restore(&self) -> CarModel {
+        let mut model = CarModel::build(self.kind, &self.config);
+        model.load_state(&self.weights);
+        model
+    }
+
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("model serialises")
+    }
+
+    pub fn from_json(s: &str) -> Result<SavedModel, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Dataset;
+    use crate::models::prepare_dataset;
+    use crate::optim::Adam;
+    use autolearn_util::rng::rng_from_seed;
+    use rand::Rng;
+
+    fn small_cfg() -> ModelConfig {
+        ModelConfig {
+            height: 24,
+            width: 32,
+            channels: 1,
+            seq_len: 3,
+            history: 2,
+            dropout: 0.0,
+            ..Default::default()
+        }
+    }
+
+    /// A synthetic "track" dataset: images whose mean column brightness
+    /// encodes the steering target, so any competent model can fit it.
+    fn synthetic_dataset(n: usize, cfg: &ModelConfig) -> Dataset {
+        let mut rng = rng_from_seed(99);
+        let (c, h, w) = (cfg.channels, cfg.height, cfg.width);
+        let mut frames = Vec::with_capacity(n);
+        let mut steering = Vec::with_capacity(n);
+        let mut throttle = Vec::with_capacity(n);
+        for _ in 0..n {
+            let s: f32 = rng.gen_range(-1.0..1.0);
+            let t: f32 = rng.gen_range(0.2..0.9);
+            // Bright vertical band whose position tracks steering.
+            let band = (((s + 1.0) / 2.0) * (w as f32 - 1.0)) as usize;
+            let mut img = vec![0.1f32; c * h * w];
+            for y in 0..h {
+                for x in band.saturating_sub(2)..(band + 3).min(w) {
+                    img[y * w + x] = 0.9;
+                }
+            }
+            frames.push(Tensor::from_vec(&[c, h, w], img));
+            steering.push(s);
+            throttle.push(t);
+        }
+        Dataset::new(Tensor::stack(&frames), steering, throttle)
+    }
+
+    fn train_and_eval(kind: ModelKind, epochs: usize) -> (f32, f32) {
+        let cfg = small_cfg();
+        let mut model = CarModel::build(kind, &cfg);
+        let raw = synthetic_dataset(120, &cfg);
+        let data = prepare_dataset(&raw, model.input_spec());
+        let (train, val) = data.split(0.8, 7);
+        let mut opt = Adam::new(1e-3);
+
+        let first: f32 = val
+            .batches(16, false, 0)
+            .iter()
+            .map(|b| model.eval_batch(b))
+            .sum::<f32>();
+        for e in 0..epochs {
+            for b in train.batches(16, true, e as u64) {
+                model.train_batch(&b, &mut opt);
+            }
+        }
+        let last: f32 = val
+            .batches(16, false, 0)
+            .iter()
+            .map(|b| model.eval_batch(b))
+            .sum::<f32>();
+        (first, last)
+    }
+
+    #[test]
+    fn linear_model_learns() {
+        let (first, last) = train_and_eval(ModelKind::Linear, 8);
+        assert!(last < first * 0.7, "val loss {first} -> {last}");
+    }
+
+    #[test]
+    fn categorical_model_learns() {
+        // CE over 15+20 bins starts near ln(15)+ln(20); the steering head is
+        // learnable while throttle targets are random, so expect a solid but
+        // partial drop.
+        let (first, last) = train_and_eval(ModelKind::Categorical, 15);
+        assert!(last < first * 0.9, "val loss {first} -> {last}");
+    }
+
+    #[test]
+    fn inferred_model_learns() {
+        let (first, last) = train_and_eval(ModelKind::Inferred, 8);
+        assert!(last < first * 0.7, "val loss {first} -> {last}");
+    }
+
+    #[test]
+    fn memory_model_learns() {
+        let (first, last) = train_and_eval(ModelKind::Memory, 8);
+        assert!(last < first * 0.7, "val loss {first} -> {last}");
+    }
+
+    #[test]
+    fn rnn_model_learns() {
+        let (first, last) = train_and_eval(ModelKind::Rnn, 6);
+        assert!(last < first, "val loss {first} -> {last}");
+    }
+
+    #[test]
+    fn threed_model_learns() {
+        let (first, last) = train_and_eval(ModelKind::ThreeD, 6);
+        assert!(last < first, "val loss {first} -> {last}");
+    }
+
+    #[test]
+    fn predictions_in_range_for_all_kinds() {
+        let cfg = small_cfg();
+        for kind in ModelKind::all() {
+            let mut model = CarModel::build(kind, &cfg);
+            let raw = synthetic_dataset(10, &cfg);
+            let data = prepare_dataset(&raw, model.input_spec());
+            let batch = &data.batches(4, false, 0)[0];
+            let preds = model.predict(&batch.inputs);
+            assert_eq!(preds.len(), 4);
+            for (s, t) in preds {
+                assert!((-1.0..=1.0).contains(&s), "{kind}: steering {s}");
+                assert!((0.0..=1.0).contains(&t), "{kind}: throttle {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn inferred_derives_throttle_from_steering() {
+        let cfg = small_cfg();
+        let mut model = CarModel::build(ModelKind::Inferred, &cfg);
+        let raw = synthetic_dataset(4, &cfg);
+        let batch = &raw.batches(4, false, 0)[0];
+        let preds = model.predict(&batch.inputs);
+        for (s, t) in preds {
+            assert!((t - model.inferred_throttle.throttle_for(s)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn save_restore_preserves_predictions() {
+        let cfg = small_cfg();
+        let mut model = CarModel::build(ModelKind::Linear, &cfg);
+        let raw = synthetic_dataset(4, &cfg);
+        let batch = &raw.batches(4, false, 0)[0];
+        let before = model.predict(&batch.inputs);
+
+        let saved = SavedModel::capture(&mut model);
+        let json = saved.to_json();
+        let mut restored = SavedModel::from_json(&json).unwrap().restore();
+        let after = restored.predict(&batch.inputs);
+        for ((s1, t1), (s2, t2)) in before.iter().zip(&after) {
+            assert!((s1 - s2).abs() < 1e-6);
+            assert!((t1 - t2).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn save_restore_all_six_kinds() {
+        let cfg = small_cfg();
+        let raw = synthetic_dataset(8, &cfg);
+        for kind in ModelKind::all() {
+            let mut model = CarModel::build(kind, &cfg);
+            let data = prepare_dataset(&raw, model.input_spec());
+            let batch = &data.batches(4, false, 0)[0];
+            let before = model.predict(&batch.inputs);
+            let mut restored = SavedModel::capture(&mut model).restore();
+            let after = restored.predict(&batch.inputs);
+            for ((s1, t1), (s2, t2)) in before.iter().zip(&after) {
+                assert!((s1 - s2).abs() < 1e-6, "{kind}: steering drifted");
+                assert!((t1 - t2).abs() < 1e-6, "{kind}: throttle drifted");
+            }
+        }
+    }
+
+    #[test]
+    fn load_state_rejects_wrong_shape() {
+        let cfg = small_cfg();
+        let mut a = CarModel::build(ModelKind::Linear, &cfg);
+        let mut b = CarModel::build(ModelKind::Categorical, &cfg);
+        let state = a.state_dict();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            b.load_state(&state);
+        }));
+        assert!(result.is_err(), "mismatched state dict must be rejected");
+    }
+
+    #[test]
+    fn flops_ordering_is_sane() {
+        // Sequence models cost more than single-frame models.
+        let cfg = small_cfg();
+        let linear = CarModel::build(ModelKind::Linear, &cfg).flops_per_inference();
+        let rnn = CarModel::build(ModelKind::Rnn, &cfg).flops_per_inference();
+        let threed = CarModel::build(ModelKind::ThreeD, &cfg).flops_per_inference();
+        assert!(rnn > linear, "rnn {rnn} vs linear {linear}");
+        assert!(threed > linear, "3d {threed} vs linear {linear}");
+        assert!(linear > 10_000, "linear {linear} suspiciously small");
+    }
+
+    #[test]
+    fn param_counts_positive_and_distinct_heads() {
+        let cfg = small_cfg();
+        let mut linear = CarModel::build(ModelKind::Linear, &cfg);
+        let mut categorical = CarModel::build(ModelKind::Categorical, &cfg);
+        // Categorical heads are wider (15+20 outputs vs 1+1).
+        assert!(categorical.param_count() > linear.param_count());
+    }
+
+    #[test]
+    fn concat_split_roundtrip() {
+        let a = Tensor::from_vec(&[2, 2], vec![1., 2., 3., 4.]);
+        let b = Tensor::from_vec(&[2, 1], vec![9., 8.]);
+        let j = concat_cols(&a, &b);
+        assert_eq!(j.shape(), &[2, 3]);
+        assert_eq!(j.data(), &[1., 2., 9., 3., 4., 8.]);
+        let (ga, gb) = split_cols(&j, 2);
+        assert_eq!(ga.data(), a.data());
+        assert_eq!(gb.data(), b.data());
+    }
+
+    #[test]
+    fn transpose_time_channel_roundtrip() {
+        let x = Tensor::from_vec(&[1, 2, 3, 1, 2], (0..12).map(|i| i as f32).collect());
+        let y = transpose_time_channel(&x);
+        assert_eq!(y.shape(), &[1, 3, 2, 1, 2]);
+        // Element (t=0, c=1) of x is at (c=1, t=0) of y.
+        // x index ((0*2+0)*3+1)*2 = 2 -> y index ((0*3+1)*2+0)*2 = 4
+        assert_eq!(y.data()[4], x.data()[2]);
+        // And the full tensor is a permutation: same multiset of values.
+        let mut xs: Vec<f32> = x.data().to_vec();
+        let mut ys: Vec<f32> = y.data().to_vec();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        ys.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(xs, ys);
+    }
+}

@@ -1,0 +1,37 @@
+//! DonkeyCar-style small-scale car simulator.
+//!
+//! The paper's module offers the DonkeyCar simulator as a first-class
+//! alternative to the physical car for both data collection and model
+//! evaluation (Fig. 2, §3.3). This crate is that simulator for the
+//! reproduction:
+//!
+//! * [`vehicle`] — a kinematic bicycle model of the 1/16-scale car with
+//!   first-order actuator lags, speed dynamics and configurable noise (the
+//!   "real car" is this model with noise on; the "clean simulator" is the
+//!   same model with noise off — the gap between them is the digital-twin
+//!   experiment),
+//! * [`camera`] — a synthetic front camera that ray-casts the ground plane
+//!   and renders the track's tape lines into raw [`autolearn_util::Image`]
+//!   frames, exactly the sensor the models train on,
+//! * [`pilot`] — the driving interfaces: a human-like PID line follower
+//!   (manual data collection, §3.3), scripted joystick/web controllers, a
+//!   constant-throttle racing mode, and a speed-feedback wrapper (the
+//!   Fowler SC'23 poster's real-time speed controller),
+//! * [`driveloop`] — the 20 Hz sense→decide→act loop with lap timing,
+//!   crash/off-track bookkeeping, control-latency injection (for the
+//!   edge-vs-cloud inference experiments) and session recording.
+
+pub mod camera;
+pub mod driveloop;
+pub mod pilot;
+pub mod vehicle;
+pub mod world;
+
+pub use camera::{Camera, CameraConfig};
+pub use driveloop::{DriveConfig, Frame, LapStats, SessionResult, Simulation};
+pub use pilot::{
+    ConstantPilot, Controls, LinePilot, LinePilotConfig, Observation, Pilot, ScriptedPilot,
+    SpeedController,
+};
+pub use vehicle::{CarConfig, Vehicle, VehicleState};
+pub use world::Obstacle;

@@ -1,0 +1,44 @@
+//! Objects in the world besides the track: obstacles for the §3.3
+//! "obstacle detection" extension exercise.
+
+use autolearn_track::Vec2;
+use serde::{Deserialize, Serialize};
+
+/// A static obstacle on (or near) the track — a cardboard box, a shoe, a
+/// rival car that stopped. Rendered by the camera as a coloured disk on
+/// the ground and solid to the car.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Obstacle {
+    pub pos: Vec2,
+    pub radius: f64,
+    /// Rendered colour (default traffic-cone red).
+    pub color: [u8; 3],
+}
+
+impl Obstacle {
+    pub fn new(pos: Vec2, radius: f64) -> Obstacle {
+        Obstacle {
+            pos,
+            radius,
+            color: [200, 40, 30],
+        }
+    }
+
+    /// Whether a car at `p` (with body radius `car_radius`) hits this.
+    pub fn collides(&self, p: Vec2, car_radius: f64) -> bool {
+        p.dist(self.pos) < self.radius + car_radius
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collision_radius_compose() {
+        let o = Obstacle::new(Vec2::new(1.0, 0.0), 0.1);
+        assert!(o.collides(Vec2::new(1.15, 0.0), 0.1));
+        assert!(!o.collides(Vec2::new(1.35, 0.0), 0.1));
+        assert!(o.collides(Vec2::new(1.0, 0.0), 0.0));
+    }
+}

@@ -1,0 +1,70 @@
+//! Property tests for the simulator: physics plausibility and rendering
+//! invariants.
+
+use autolearn_sim::{Camera, CameraConfig, CarConfig, Controls, Vehicle, VehicleState};
+use autolearn_track::{circle_track, Vec2};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The car can never exceed its configured top speed (plus the small
+    /// noise allowance) or drive backwards, for any control sequence.
+    #[test]
+    fn speed_stays_bounded(controls in prop::collection::vec((-1.5f64..1.5, -0.5f64..1.5), 1..120)) {
+        let cfg = CarConfig::default();
+        let cap = cfg.max_speed * 1.05;
+        let mut v = Vehicle::new(cfg, VehicleState::at(Vec2::ZERO, 0.0));
+        for (s, t) in controls {
+            v.step(s, t, 0.05);
+            prop_assert!(v.state.speed >= 0.0);
+            prop_assert!(v.state.speed <= cap + 1e-9);
+            prop_assert!(v.state.steer_angle.abs() <= v.config.max_steer + 1e-9);
+            prop_assert!(v.state.heading.abs() <= std::f64::consts::PI + 1e-9);
+        }
+    }
+
+    /// Distance travelled in a step never exceeds speed * dt.
+    #[test]
+    fn displacement_consistent_with_speed(steer in -1.0f64..1.0, throttle in 0.0f64..1.0) {
+        let mut v = Vehicle::new(CarConfig::default(), VehicleState::at(Vec2::ZERO, 0.0));
+        for _ in 0..40 {
+            let before = v.state.pos;
+            v.step(steer, throttle, 0.05);
+            let moved = before.dist(v.state.pos);
+            prop_assert!(moved <= v.state.speed * 0.05 + 1e-9);
+        }
+    }
+
+    /// Rendering is a total function: any pose (on or off track, any
+    /// heading) yields a full frame with all pixels written.
+    #[test]
+    fn camera_total_over_poses(x in -10.0f64..10.0, y in -10.0f64..10.0, heading in -3.1f64..3.1) {
+        let track = circle_track(3.0, 0.8);
+        let mut cam = Camera::new(CameraConfig::small());
+        let img = cam.render(&track, &VehicleState::at(Vec2::new(x, y), heading));
+        prop_assert_eq!(img.len(), 40 * 30);
+        // Every pixel is one of the four scene colours' grayscale values.
+        for &px in &img.data {
+            prop_assert!(px > 0, "black pixel should not occur");
+        }
+    }
+
+    /// The clean camera is a pure function of pose.
+    #[test]
+    fn camera_pure(x in -4.0f64..4.0, y in -4.0f64..4.0, heading in -3.0f64..3.0) {
+        let track = circle_track(3.0, 0.8);
+        let state = VehicleState::at(Vec2::new(x, y), heading);
+        let a = Camera::new(CameraConfig::small()).render(&track, &state);
+        let b = Camera::new(CameraConfig::small()).render(&track, &state);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Controls always clamp into their documented ranges.
+    #[test]
+    fn controls_clamp_everything(s in -100.0f64..100.0, t in -100.0f64..100.0) {
+        let c = Controls::new(s, t);
+        prop_assert!((-1.0..=1.0).contains(&c.steering));
+        prop_assert!((0.0..=1.0).contains(&c.throttle));
+    }
+}

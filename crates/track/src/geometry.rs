@@ -1,0 +1,236 @@
+//! Plane geometry primitives.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// A 2-D vector / point in meters.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec2 {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Vec2 {
+    pub const ZERO: Vec2 = Vec2 { x: 0.0, y: 0.0 };
+
+    pub fn new(x: f64, y: f64) -> Self {
+        Vec2 { x, y }
+    }
+
+    /// Unit vector at `angle` radians from +x.
+    pub fn from_angle(angle: f64) -> Self {
+        Vec2 {
+            x: angle.cos(),
+            y: angle.sin(),
+        }
+    }
+
+    pub fn dot(self, o: Vec2) -> f64 {
+        self.x * o.x + self.y * o.y
+    }
+
+    /// Z-component of the 3-D cross product; positive when `o` is
+    /// counter-clockwise from `self`.
+    pub fn cross(self, o: Vec2) -> f64 {
+        self.x * o.y - self.y * o.x
+    }
+
+    pub fn norm_sq(self) -> f64 {
+        self.dot(self)
+    }
+
+    pub fn norm(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    pub fn dist(self, o: Vec2) -> f64 {
+        (self - o).norm()
+    }
+
+    pub fn dist_sq(self, o: Vec2) -> f64 {
+        (self - o).norm_sq()
+    }
+
+    /// Normalised copy; `Vec2::ZERO` stays zero.
+    pub fn normalized(self) -> Vec2 {
+        let n = self.norm();
+        if n < 1e-12 {
+            Vec2::ZERO
+        } else {
+            self * (1.0 / n)
+        }
+    }
+
+    /// Rotate 90° counter-clockwise (the left normal of a heading vector).
+    pub fn perp(self) -> Vec2 {
+        Vec2 {
+            x: -self.y,
+            y: self.x,
+        }
+    }
+
+    /// Angle from +x axis in radians, in (-pi, pi].
+    pub fn angle(self) -> f64 {
+        self.y.atan2(self.x)
+    }
+
+    /// Rotate by `angle` radians counter-clockwise.
+    pub fn rotated(self, angle: f64) -> Vec2 {
+        let (s, c) = angle.sin_cos();
+        Vec2 {
+            x: c * self.x - s * self.y,
+            y: s * self.x + c * self.y,
+        }
+    }
+
+    pub fn lerp(self, o: Vec2, t: f64) -> Vec2 {
+        self + (o - self) * t
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Vec2;
+    fn add(self, o: Vec2) -> Vec2 {
+        Vec2::new(self.x + o.x, self.y + o.y)
+    }
+}
+
+impl AddAssign for Vec2 {
+    fn add_assign(&mut self, o: Vec2) {
+        self.x += o.x;
+        self.y += o.y;
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Vec2;
+    fn sub(self, o: Vec2) -> Vec2 {
+        Vec2::new(self.x - o.x, self.y - o.y)
+    }
+}
+
+impl Mul<f64> for Vec2 {
+    type Output = Vec2;
+    fn mul(self, k: f64) -> Vec2 {
+        Vec2::new(self.x * k, self.y * k)
+    }
+}
+
+impl Neg for Vec2 {
+    type Output = Vec2;
+    fn neg(self) -> Vec2 {
+        Vec2::new(-self.x, -self.y)
+    }
+}
+
+/// Squared distance from point `p` to segment `ab`, and the parameter
+/// `t` in `0..=1` of the closest point.
+pub fn point_segment_dist_sq(p: Vec2, a: Vec2, b: Vec2) -> (f64, f64) {
+    let ab = b - a;
+    let len_sq = ab.norm_sq();
+    if len_sq < 1e-18 {
+        return (p.dist_sq(a), 0.0);
+    }
+    let t = ((p - a).dot(ab) / len_sq).clamp(0.0, 1.0);
+    let proj = a + ab * t;
+    (p.dist_sq(proj), t)
+}
+
+/// Normalise an angle to (-pi, pi].
+pub fn wrap_angle(a: f64) -> f64 {
+    let mut a = a % (2.0 * std::f64::consts::PI);
+    if a <= -std::f64::consts::PI {
+        a += 2.0 * std::f64::consts::PI;
+    } else if a > std::f64::consts::PI {
+        a -= 2.0 * std::f64::consts::PI;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn dot_cross_basics() {
+        let ex = Vec2::new(1.0, 0.0);
+        let ey = Vec2::new(0.0, 1.0);
+        assert_eq!(ex.dot(ey), 0.0);
+        assert_eq!(ex.cross(ey), 1.0);
+        assert_eq!(ey.cross(ex), -1.0);
+    }
+
+    #[test]
+    fn perp_is_left_normal() {
+        let v = Vec2::new(1.0, 0.0);
+        assert_eq!(v.perp(), Vec2::new(0.0, 1.0));
+        assert!((v.perp().angle() - FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rotation_preserves_norm() {
+        let v = Vec2::new(3.0, 4.0);
+        let r = v.rotated(1.234);
+        assert!((r.norm() - 5.0).abs() < 1e-12);
+        assert!((v.rotated(PI).x + 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_handles_zero() {
+        assert_eq!(Vec2::ZERO.normalized(), Vec2::ZERO);
+        let v = Vec2::new(0.0, 2.0).normalized();
+        assert!((v.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_angle_roundtrips() {
+        for a in [-2.0, -0.5, 0.0, 0.7, 3.0] {
+            let v = Vec2::from_angle(a);
+            assert!((wrap_angle(v.angle() - a)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn segment_distance_interior_and_endpoints() {
+        let a = Vec2::new(0.0, 0.0);
+        let b = Vec2::new(10.0, 0.0);
+        let (d2, t) = point_segment_dist_sq(Vec2::new(5.0, 3.0), a, b);
+        assert!((d2 - 9.0).abs() < 1e-12);
+        assert!((t - 0.5).abs() < 1e-12);
+        let (d2, t) = point_segment_dist_sq(Vec2::new(-4.0, 3.0), a, b);
+        assert!((d2 - 25.0).abs() < 1e-12);
+        assert_eq!(t, 0.0);
+        let (d2, t) = point_segment_dist_sq(Vec2::new(14.0, 3.0), a, b);
+        assert!((d2 - 25.0).abs() < 1e-12);
+        assert_eq!(t, 1.0);
+    }
+
+    #[test]
+    fn degenerate_segment_is_a_point() {
+        let a = Vec2::new(1.0, 1.0);
+        let (d2, t) = point_segment_dist_sq(Vec2::new(4.0, 5.0), a, a);
+        assert!((d2 - 25.0).abs() < 1e-12);
+        assert_eq!(t, 0.0);
+    }
+
+    #[test]
+    fn wrap_angle_range() {
+        assert!((wrap_angle(3.0 * PI) - PI).abs() < 1e-12);
+        assert!((wrap_angle(-3.0 * PI) - PI).abs() < 1e-12);
+        assert_eq!(wrap_angle(0.0), 0.0);
+        for a in [-10.0, -1.0, 0.0, 1.0, 10.0, 100.0] {
+            let w = wrap_angle(a);
+            assert!(w > -PI - 1e-12 && w <= PI + 1e-12);
+        }
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = Vec2::new(0.0, 0.0);
+        let b = Vec2::new(2.0, 4.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Vec2::new(1.0, 2.0));
+    }
+}

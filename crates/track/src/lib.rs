@@ -1,0 +1,32 @@
+//! Track geometry for the AutoLearn reproduction.
+//!
+//! The paper's module uses two physical tracks (Fig. 3): a hand-made oval of
+//! orange tape (inner line 330 in, outer line 509 in, average width
+//! 27.59 in) and the commercial Waveshare track, plus whatever tracks the
+//! DonkeyCar simulator ships. This crate models a driving track as a closed
+//! centerline polyline with a per-point half-width, and provides:
+//!
+//! * arc-length parameterised sampling (position / heading / curvature),
+//! * fast projection of an arbitrary world point onto the track (signed
+//!   lateral offset, station `s`, on/off-track classification) backed by a
+//!   uniform spatial grid,
+//! * surface classification (`Line` / `Asphalt` / `Off`) used by the
+//!   synthetic camera to render tape markings,
+//! * the paper's two preset tracks and a procedural generator for the
+//!   "modify the shape of the track" extension exercises.
+
+pub mod geometry;
+pub mod polyline;
+pub mod presets;
+pub mod procedural;
+pub mod surface;
+pub mod track;
+
+pub use geometry::Vec2;
+pub use presets::{circle_track, paper_oval, waveshare_track};
+pub use procedural::{random_track, RandomTrackConfig};
+pub use surface::Surface;
+pub use track::{Track, TrackProjection};
+
+/// Inches → meters: both paper tracks are specified in inches.
+pub const INCH: f64 = 0.0254;

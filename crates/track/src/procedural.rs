@@ -1,0 +1,125 @@
+//! Procedural track generation.
+//!
+//! §3.3 suggests "modifying the shape of the track" as a beginner extension
+//! exercise, and the DonkeyCar simulator ships multiple tracks. This module
+//! generates smooth random closed circuits by perturbing a circle with a few
+//! random low-frequency harmonics, then Chaikin-smoothing the result.
+
+use crate::geometry::Vec2;
+use crate::polyline::chaikin_smooth;
+use crate::track::Track;
+use autolearn_util::rng::rng_from_seed;
+use rand::Rng;
+use std::f64::consts::PI;
+
+/// Parameters for [`random_track`].
+#[derive(Debug, Clone)]
+pub struct RandomTrackConfig {
+    /// Mean centerline radius, meters.
+    pub base_radius: f64,
+    /// Relative amplitude of the radial perturbation (0 = circle). Values
+    /// above ~0.35 risk self-intersection and are clamped.
+    pub roughness: f64,
+    /// Number of random harmonics (2..=6 is sensible).
+    pub harmonics: usize,
+    /// Track width, meters.
+    pub width: f64,
+}
+
+impl Default for RandomTrackConfig {
+    fn default() -> Self {
+        RandomTrackConfig {
+            base_radius: 4.0,
+            roughness: 0.2,
+            harmonics: 3,
+            width: 0.7,
+        }
+    }
+}
+
+/// Generate a random smooth closed track. Deterministic in `seed`.
+pub fn random_track(seed: u64, cfg: &RandomTrackConfig) -> Track {
+    assert!(cfg.base_radius > 0.0 && cfg.width > 0.0);
+    let mut rng = rng_from_seed(seed);
+    let roughness = cfg.roughness.clamp(0.0, 0.35);
+    let harmonics = cfg.harmonics.clamp(1, 8);
+
+    // Random harmonic amplitudes and phases; higher harmonics damped so the
+    // loop stays simple (no self-intersection).
+    let comps: Vec<(f64, f64, f64)> = (0..harmonics)
+        .map(|h| {
+            let k = (h + 2) as f64; // start at 2 lobes: k=1 just offsets the circle
+            let amp = roughness * rng.gen_range(0.3..1.0) / k;
+            let phase = rng.gen_range(0.0..2.0 * PI);
+            (k, amp, phase)
+        })
+        .collect();
+
+    let n = 160;
+    let pts: Vec<Vec2> = (0..n)
+        .map(|i| {
+            let theta = 2.0 * PI * i as f64 / n as f64;
+            let mut r = 1.0;
+            for &(k, amp, phase) in &comps {
+                r += amp * (k * theta + phase).sin();
+            }
+            let r = cfg.base_radius * r.max(0.3);
+            Vec2::new(r * theta.cos(), r * theta.sin())
+        })
+        .collect();
+    let smooth = chaikin_smooth(&pts, 2);
+    Track::from_centerline(&format!("random-{seed}"), &smooth, cfg.width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = RandomTrackConfig::default();
+        let a = random_track(11, &cfg);
+        let b = random_track(11, &cfg);
+        assert_eq!(a.length(), b.length());
+        assert_eq!(a.sample_count(), b.sample_count());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = RandomTrackConfig::default();
+        let a = random_track(1, &cfg);
+        let b = random_track(2, &cfg);
+        assert!((a.length() - b.length()).abs() > 1e-6);
+    }
+
+    #[test]
+    fn zero_roughness_is_a_circle() {
+        let cfg = RandomTrackConfig {
+            roughness: 0.0,
+            ..Default::default()
+        };
+        let t = random_track(5, &cfg);
+        let expected = 2.0 * PI * cfg.base_radius;
+        assert!((t.length() - expected).abs() < 0.05 * expected);
+    }
+
+    #[test]
+    fn generated_tracks_are_self_consistent() {
+        let cfg = RandomTrackConfig {
+            roughness: 0.3,
+            harmonics: 4,
+            ..Default::default()
+        };
+        for seed in 0..5 {
+            let t = random_track(seed, &cfg);
+            // Projection of centerline points stays on track everywhere.
+            let mut s = 0.0;
+            while s < t.length() {
+                let proj = t.project(t.point_at(s));
+                assert!(proj.on_track, "seed {seed} off-track at s={s}");
+                assert!(proj.lateral.abs() < 0.05);
+                s += 0.5;
+            }
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Surface classification used by the synthetic camera.
+
+use serde::{Deserialize, Serialize};
+
+/// What the ground looks like at a world point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Surface {
+    /// On a boundary tape line (the orange tape of the paper's oval, or the
+    /// painted lines of the Waveshare track).
+    Line,
+    /// Drivable surface between the lines.
+    Asphalt,
+    /// Off the track entirely.
+    Off,
+}
+
+impl Surface {
+    /// Rendered RGB colour. Orange tape per the paper; the floor and the
+    /// off-track area get distinct greys so models can learn the boundary.
+    pub fn color(self) -> [u8; 3] {
+        match self {
+            Surface::Line => [230, 130, 30],  // orange tape
+            Surface::Asphalt => [70, 70, 70], // dark floor
+            Surface::Off => [150, 150, 150],  // lighter surrounding floor
+        }
+    }
+
+    pub fn is_drivable(self) -> bool {
+        !matches!(self, Surface::Off)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn colors_are_distinct() {
+        assert_ne!(Surface::Line.color(), Surface::Asphalt.color());
+        assert_ne!(Surface::Asphalt.color(), Surface::Off.color());
+        assert_ne!(Surface::Line.color(), Surface::Off.color());
+    }
+
+    #[test]
+    fn drivability() {
+        assert!(Surface::Line.is_drivable());
+        assert!(Surface::Asphalt.is_drivable());
+        assert!(!Surface::Off.is_drivable());
+    }
+}

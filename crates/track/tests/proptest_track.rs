@@ -1,0 +1,73 @@
+//! Property tests for track geometry invariants.
+
+use autolearn_track::{circle_track, paper_oval, random_track, RandomTrackConfig, Surface};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// offset_point followed by project recovers (s, lateral) within the
+    /// resolution of the internal resampling, for offsets within the track.
+    #[test]
+    fn project_inverts_offset_on_oval(frac in 0.0f64..1.0, lat in -0.3f64..0.3) {
+        let t = paper_oval();
+        let s = frac * t.length();
+        let p = t.offset_point(s, lat);
+        let proj = t.project(p);
+        let ds = t.forward_distance(s, proj.s).min(t.forward_distance(proj.s, s));
+        prop_assert!(ds < 0.2, "station error {ds}");
+        prop_assert!((proj.lateral - lat).abs() < 0.08, "lateral {} vs {}", proj.lateral, lat);
+    }
+
+    /// Points beyond half-width are off-track; points well inside are on.
+    #[test]
+    fn on_track_consistent_with_width(frac in 0.0f64..1.0, lat in -2.0f64..2.0) {
+        let t = circle_track(4.0, 0.8);
+        let s = frac * t.length();
+        let p = t.offset_point(s, lat);
+        let proj = t.project(p);
+        if lat.abs() < 0.35 {
+            prop_assert!(proj.on_track);
+        }
+        if lat.abs() > 0.45 {
+            prop_assert!(!proj.on_track);
+        }
+    }
+
+    /// Surface bands are ordered: asphalt strictly inside tape, off strictly
+    /// outside, and edge_distance sign agrees.
+    #[test]
+    fn surface_bands_ordered(frac in 0.0f64..1.0, lat in -1.5f64..1.5) {
+        let t = circle_track(4.0, 0.8);
+        let s = frac * t.length();
+        let p = t.offset_point(s, lat);
+        let surface = t.surface_at(p);
+        let edge = t.edge_distance(p);
+        match surface {
+            Surface::Asphalt => prop_assert!(edge < 0.0),
+            Surface::Off => prop_assert!(edge > -0.03),
+            Surface::Line => prop_assert!(edge.abs() < 0.05, "tape at edge dist {edge}"),
+        }
+    }
+
+    /// wrap_station is idempotent and in range for any input.
+    #[test]
+    fn wrap_station_in_range(s in -1000.0f64..1000.0) {
+        let t = circle_track(3.0, 0.5);
+        let w = t.wrap_station(s);
+        prop_assert!((0.0..t.length()).contains(&w));
+        prop_assert!((t.wrap_station(w) - w).abs() < 1e-9);
+    }
+
+    /// Random tracks always produce drivable centerlines.
+    #[test]
+    fn random_tracks_drivable(seed in 0u64..50) {
+        let t = random_track(seed, &RandomTrackConfig::default());
+        prop_assert!(t.length() > 10.0);
+        let mut s = 0.0;
+        while s < t.length() {
+            prop_assert!(t.project(t.point_at(s)).on_track);
+            s += 1.0;
+        }
+    }
+}

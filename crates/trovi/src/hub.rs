@@ -1,0 +1,178 @@
+//! The hub itself: the catalog users search to "find experimental
+//! artifacts, but interact with them easily" (§3.2).
+
+use crate::artifact::Artifact;
+use crate::metrics::{EventKind, EventLog};
+use autolearn_util::SimTime;
+
+/// A Trovi instance: artifacts plus the shared event log.
+#[derive(Default)]
+pub struct TroviHub {
+    artifacts: Vec<Artifact>,
+    pub events: EventLog,
+}
+
+impl TroviHub {
+    pub fn new() -> TroviHub {
+        TroviHub::default()
+    }
+
+    /// Publish (or replace) an artifact under its slug.
+    pub fn publish(&mut self, artifact: Artifact) {
+        if let Some(existing) = self.artifacts.iter_mut().find(|a| a.slug == artifact.slug) {
+            *existing = artifact;
+        } else {
+            self.artifacts.push(artifact);
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.artifacts.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.artifacts.is_empty()
+    }
+
+    pub fn get(&self, slug: &str) -> Option<&Artifact> {
+        self.artifacts.iter().find(|a| a.slug == slug)
+    }
+
+    pub fn get_mut(&mut self, slug: &str) -> Option<&mut Artifact> {
+        self.artifacts.iter_mut().find(|a| a.slug == slug)
+    }
+
+    /// Free-text search over title/description (case-insensitive).
+    pub fn search(&self, query: &str) -> Vec<&Artifact> {
+        let q = query.to_lowercase();
+        self.artifacts
+            .iter()
+            .filter(|a| {
+                a.title.to_lowercase().contains(&q) || a.description.to_lowercase().contains(&q)
+            })
+            .collect()
+    }
+
+    /// All artifacts carrying `tag`.
+    pub fn by_tag(&self, tag: &str) -> Vec<&Artifact> {
+        self.artifacts
+            .iter()
+            .filter(|a| a.tags.iter().any(|t| t == tag))
+            .collect()
+    }
+
+    /// A user views an artifact page (recorded automatically).
+    pub fn view(&mut self, user: &str, slug: &str, at: SimTime) -> Option<&Artifact> {
+        if self.get(slug).is_some() {
+            self.events.record(user, slug, EventKind::View, at);
+        }
+        self.get(slug)
+    }
+
+    /// A user clicks "launch" — spawns the Jupyter environment and counts.
+    pub fn launch(&mut self, user: &str, slug: &str, at: SimTime) -> bool {
+        if self.get(slug).is_some() {
+            self.events.record(user, slug, EventKind::LaunchClick, at);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// A user executes a cell in a launched artifact.
+    pub fn execute_cell(
+        &mut self,
+        user: &str,
+        slug: &str,
+        notebook: usize,
+        cell: usize,
+        at: SimTime,
+    ) -> bool {
+        let Some(artifact) = self.get_mut(slug) else {
+            return false;
+        };
+        let Some(version) = artifact.versions.last_mut() else {
+            return false;
+        };
+        let Some(nb) = version.notebooks.get_mut(notebook) else {
+            return false;
+        };
+        if nb.execute_cell(cell) {
+            self.events.record(user, slug, EventKind::CellExecution, at);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hub_with_autolearn() -> TroviHub {
+        let mut hub = TroviHub::new();
+        hub.publish(Artifact::autolearn_example());
+        let mut other = Artifact::new("netperf", "Network performance labs", &["x"]);
+        other.tags = vec!["networking".into(), "education".into()];
+        other.description = "teaching-on-testbeds style networking exercises".into();
+        other.publish_version(SimTime::ZERO, vec![], "v1");
+        hub.publish(other);
+        hub
+    }
+
+    #[test]
+    fn search_finds_by_title_and_description() {
+        let hub = hub_with_autolearn();
+        assert_eq!(hub.search("edge to cloud").len(), 1);
+        assert_eq!(hub.search("NETWORKING").len(), 1);
+        assert_eq!(hub.search("zzz-nothing").len(), 0);
+    }
+
+    #[test]
+    fn tag_queries() {
+        let hub = hub_with_autolearn();
+        assert_eq!(hub.by_tag("education").len(), 2);
+        assert_eq!(hub.by_tag("chi-at-edge").len(), 1);
+        assert!(hub.by_tag("quantum").is_empty());
+    }
+
+    #[test]
+    fn interactions_feed_the_metrics() {
+        let mut hub = hub_with_autolearn();
+        let slug = "autolearn-edge-to-cloud";
+        hub.view("alice", slug, SimTime::ZERO);
+        assert!(hub.launch("alice", slug, SimTime::ZERO));
+        // Cell 1 of notebook 0 is code → executes.
+        assert!(hub.execute_cell("alice", slug, 0, 1, SimTime::ZERO));
+        // Cell 0 is markdown → not an execution.
+        assert!(!hub.execute_cell("alice", slug, 0, 0, SimTime::ZERO));
+        let m = hub.events.metrics_for(slug);
+        assert_eq!(m.views, 1);
+        assert_eq!(m.launch_clicks, 1);
+        assert_eq!(m.users_executed, 1);
+        assert_eq!(m.cell_executions, 1);
+    }
+
+    #[test]
+    fn unknown_slug_interactions_are_noops() {
+        let mut hub = hub_with_autolearn();
+        assert!(hub.view("a", "missing", SimTime::ZERO).is_none());
+        assert!(!hub.launch("a", "missing", SimTime::ZERO));
+        assert!(!hub.execute_cell("a", "missing", 0, 0, SimTime::ZERO));
+        assert!(hub.events.is_empty());
+    }
+
+    #[test]
+    fn republish_replaces() {
+        let mut hub = hub_with_autolearn();
+        let mut updated = Artifact::autolearn_example();
+        updated.description = "updated".into();
+        hub.publish(updated);
+        assert_eq!(hub.len(), 2);
+        assert_eq!(
+            hub.get("autolearn-edge-to-cloud").unwrap().description,
+            "updated"
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! The DonkeyCar "tub" dataset format and cleaning tools.
+//!
+//! §3.3 of the paper describes the format exactly: *"records that consist of
+//! .catalog files, images directory, and manifest files. .Catalog files
+//! consist of steering and throttle values that were recorded while driving.
+//! Each of these corresponds to an image in the images directory based on
+//! their id number. Catalog_manifest files store information about each
+//! catalog file and the manifest json file is where certain records are
+//! marked for deletion."*
+//!
+//! This crate reproduces that layout on disk:
+//!
+//! ```text
+//! <tub>/
+//!   manifest.json            # tub metadata + deleted record ids
+//!   catalog_manifest.json    # one entry per catalog file
+//!   data_0.catalog           # JSON-lines records (steering, throttle, ...)
+//!   data_1.catalog
+//!   images/
+//!     0.img 1.img ...        # raw frames (w,h,c header + bytes)
+//! ```
+//!
+//! plus [`clean`] — the reproduction's `tubclean` equivalent (the paper's
+//! manual video-review step becomes heuristics that flag crash/off-track
+//! segments recorded by the collector), and [`stats`] for the dataset
+//! summaries the teaching module asks students to inspect.
+
+pub mod clean;
+pub mod record;
+pub mod stats;
+pub mod tub;
+
+pub use clean::{CleanConfig, CleanReport, TubCleaner};
+pub use record::{DriveMode, Record};
+pub use stats::TubStats;
+pub use tub::{Tub, TubError};
+
+/// Records per catalog file (DonkeyCar rotates at 1000).
+pub const RECORDS_PER_CATALOG: usize = 1000;

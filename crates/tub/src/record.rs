@@ -1,0 +1,96 @@
+//! A single driving record.
+
+use autolearn_util::Image;
+use serde::{Deserialize, Serialize};
+
+/// Who was driving when the record was captured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DriveMode {
+    /// Human driving (joystick or web controller).
+    User,
+    /// Autopilot (a trained model).
+    Pilot,
+}
+
+/// One frame of driving data: what DonkeyCar stores per catalog line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Record {
+    /// Monotonic record id; `images/<id>.img` holds the frame.
+    pub id: u64,
+    /// Steering in [-1, 1] (DonkeyCar `user/angle`).
+    pub steering: f32,
+    /// Throttle in [0, 1] (DonkeyCar `user/throttle`).
+    pub throttle: f32,
+    /// Milliseconds since session start.
+    pub timestamp_ms: u64,
+    pub mode: DriveMode,
+    /// Collector-provided quality flags (the simulator knows when the car
+    /// was off-track or crashed; a human reviewer learns it from the video).
+    pub off_track: bool,
+    pub crashed: bool,
+    /// The camera frame. Not serialised into the catalog line — it lives in
+    /// the images directory, keyed by `id`.
+    #[serde(skip)]
+    pub image: Option<Image>,
+}
+
+impl Record {
+    pub fn new(id: u64, steering: f32, throttle: f32, timestamp_ms: u64, image: Image) -> Record {
+        Record {
+            id,
+            steering: steering.clamp(-1.0, 1.0),
+            throttle: throttle.clamp(0.0, 1.0),
+            timestamp_ms,
+            mode: DriveMode::User,
+            off_track: false,
+            crashed: false,
+            image: Some(image),
+        }
+    }
+
+    /// The catalog line for this record (image stored separately).
+    pub fn to_catalog_line(&self) -> String {
+        serde_json::to_string(self).expect("record serialises")
+    }
+
+    pub fn from_catalog_line(line: &str) -> Result<Record, serde_json::Error> {
+        serde_json::from_str(line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn img() -> Image {
+        Image::new(4, 3, 1)
+    }
+
+    #[test]
+    fn clamps_controls() {
+        let r = Record::new(0, -2.0, 1.5, 0, img());
+        assert_eq!(r.steering, -1.0);
+        assert_eq!(r.throttle, 1.0);
+    }
+
+    #[test]
+    fn catalog_line_roundtrip_excludes_image() {
+        let mut r = Record::new(7, 0.25, 0.5, 123, img());
+        r.off_track = true;
+        let line = r.to_catalog_line();
+        assert!(!line.contains("\"image\""));
+        let back = Record::from_catalog_line(&line).unwrap();
+        assert_eq!(back.id, 7);
+        assert_eq!(back.steering, 0.25);
+        assert!(back.off_track);
+        assert!(back.image.is_none());
+    }
+
+    #[test]
+    fn catalog_line_is_single_line_json() {
+        let r = Record::new(1, 0.0, 0.3, 10, img());
+        let line = r.to_catalog_line();
+        assert!(!line.contains('\n'));
+        assert!(line.starts_with('{') && line.ends_with('}'));
+    }
+}

@@ -1,0 +1,143 @@
+//! Dataset statistics for the teaching module's "inspect your data" step.
+
+use crate::record::Record;
+use autolearn_util::RunningStats;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a record set.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TubStats {
+    pub records: usize,
+    pub duration_s: f64,
+    pub mean_hz: f64,
+    pub steering_mean: f64,
+    pub steering_std: f64,
+    pub throttle_mean: f64,
+    pub throttle_std: f64,
+    /// Histogram of steering over [-1, 1] in `steering_hist.len()` bins.
+    pub steering_hist: Vec<usize>,
+    pub crash_count: usize,
+    pub off_track_count: usize,
+}
+
+impl TubStats {
+    /// Compute statistics over ordered records. `bins` controls the
+    /// steering histogram resolution.
+    pub fn compute(records: &[Record], bins: usize) -> TubStats {
+        assert!(bins >= 1);
+        let mut steer = RunningStats::new();
+        let mut throttle = RunningStats::new();
+        let mut hist = vec![0usize; bins];
+        let mut crash = 0;
+        let mut off = 0;
+        for r in records {
+            steer.push(f64::from(r.steering));
+            throttle.push(f64::from(r.throttle));
+            let b = (((f64::from(r.steering) + 1.0) / 2.0) * bins as f64) as usize;
+            hist[b.min(bins - 1)] += 1;
+            if r.crashed {
+                crash += 1;
+            }
+            if r.off_track {
+                off += 1;
+            }
+        }
+        let duration_s = match (records.first(), records.last()) {
+            (Some(a), Some(b)) => (b.timestamp_ms.saturating_sub(a.timestamp_ms)) as f64 / 1e3,
+            _ => 0.0,
+        };
+        let mean_hz = if duration_s > 0.0 {
+            (records.len().saturating_sub(1)) as f64 / duration_s
+        } else {
+            0.0
+        };
+        TubStats {
+            records: records.len(),
+            duration_s,
+            mean_hz,
+            steering_mean: steer.mean(),
+            steering_std: steer.std_dev(),
+            throttle_mean: throttle.mean(),
+            throttle_std: throttle.std_dev(),
+            steering_hist: hist,
+            crash_count: crash,
+            off_track_count: off,
+        }
+    }
+
+    /// Fraction of steering samples in the central band |s| < 0.1 —
+    /// a diagnostic for "too much straight driving" datasets.
+    pub fn straight_fraction(&self) -> f64 {
+        if self.records == 0 {
+            return 0.0;
+        }
+        let bins = self.steering_hist.len();
+        // Central band: bins covering [-0.1, 0.1].
+        let lo = ((0.9 / 2.0) * bins as f64) as usize;
+        let hi = ((1.1 / 2.0) * bins as f64).ceil() as usize;
+        let central: usize = self.steering_hist[lo..hi.min(bins)].iter().sum();
+        central as f64 / self.records as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autolearn_util::Image;
+
+    fn rec(id: u64, steering: f32, ts: u64) -> Record {
+        Record::new(id, steering, 0.5, ts, Image::new(2, 2, 1))
+    }
+
+    #[test]
+    fn basic_statistics() {
+        let records: Vec<Record> = (0..11)
+            .map(|i| rec(i, (i as f32 - 5.0) / 5.0, i * 50))
+            .collect();
+        let stats = TubStats::compute(&records, 10);
+        assert_eq!(stats.records, 11);
+        assert!((stats.duration_s - 0.5).abs() < 1e-9);
+        assert!((stats.mean_hz - 20.0).abs() < 1e-9);
+        assert!(stats.steering_mean.abs() < 1e-6);
+        assert_eq!(stats.steering_hist.iter().sum::<usize>(), 11);
+    }
+
+    #[test]
+    fn histogram_extremes_land_in_edge_bins() {
+        let records = vec![rec(0, -1.0, 0), rec(1, 1.0, 50)];
+        let stats = TubStats::compute(&records, 4);
+        assert_eq!(stats.steering_hist[0], 1);
+        assert_eq!(stats.steering_hist[3], 1);
+    }
+
+    #[test]
+    fn straight_fraction_detects_boring_data() {
+        let straight: Vec<Record> = (0..100).map(|i| rec(i, 0.0, i * 50)).collect();
+        let varied: Vec<Record> = (0..100)
+            .map(|i| rec(i, (i as f32 / 50.0) - 1.0, i * 50))
+            .collect();
+        let s1 = TubStats::compute(&straight, 20).straight_fraction();
+        let s2 = TubStats::compute(&varied, 20).straight_fraction();
+        assert!(s1 > 0.9, "straight {s1}");
+        assert!(s2 < 0.3, "varied {s2}");
+    }
+
+    #[test]
+    fn incident_counts() {
+        let mut records: Vec<Record> = (0..5).map(|i| rec(i, 0.0, i * 50)).collect();
+        records[1].crashed = true;
+        records[3].off_track = true;
+        records[4].off_track = true;
+        let stats = TubStats::compute(&records, 5);
+        assert_eq!(stats.crash_count, 1);
+        assert_eq!(stats.off_track_count, 2);
+    }
+
+    #[test]
+    fn empty_records() {
+        let stats = TubStats::compute(&[], 5);
+        assert_eq!(stats.records, 0);
+        assert_eq!(stats.duration_s, 0.0);
+        assert_eq!(stats.straight_fraction(), 0.0);
+    }
+}

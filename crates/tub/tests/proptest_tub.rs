@@ -1,0 +1,102 @@
+//! Property tests: tub round-trips and cleaning invariants.
+
+use autolearn_tub::clean::CleanReason;
+use autolearn_tub::{CleanConfig, Record, Tub, TubCleaner, TubStats};
+use autolearn_util::Image;
+use proptest::prelude::*;
+
+fn record(id: u64, steering: f32, throttle: f32, crashed: bool, off: bool) -> Record {
+    let mut img = Image::new(8, 6, 1);
+    img.data.fill(128);
+    let mut r = Record::new(id, steering, throttle, id * 50, img);
+    r.crashed = crashed;
+    r.off_track = off;
+    r
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Whatever goes into a tub comes back out, in order, with images.
+    #[test]
+    fn tub_roundtrip(controls in prop::collection::vec((-1.0f32..1.0, 0.0f32..1.0), 1..40)) {
+        let dir = std::env::temp_dir().join(format!(
+            "autolearn-proptest-{}-{}",
+            std::process::id(),
+            rand::random::<u64>()
+        ));
+        {
+            let mut tub = Tub::create(&dir).unwrap();
+            for (i, &(s, t)) in controls.iter().enumerate() {
+                tub.write_record(record(i as u64, s, t, false, false)).unwrap();
+            }
+            let live = tub.read_live().unwrap();
+            prop_assert_eq!(live.len(), controls.len());
+            for (r, &(s, t)) in live.iter().zip(&controls) {
+                prop_assert!((r.steering - s).abs() < 1e-6);
+                prop_assert!((r.throttle - t).abs() < 1e-6);
+                prop_assert!(r.image.is_some());
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Cleaning flags every crashed/off-track record, never flags a margin
+    /// wider than configured, and analysing twice gives the same answer.
+    #[test]
+    fn cleaning_sound_and_deterministic(
+        incidents in prop::collection::vec(0usize..60, 0..6),
+        margin_before in 0usize..5,
+        margin_after in 0usize..5,
+    ) {
+        let n = 60;
+        let mut records: Vec<Record> =
+            (0..n).map(|i| record(i as u64, 0.0, 0.5, false, false)).collect();
+        for &i in &incidents {
+            records[i].crashed = true;
+        }
+        let cleaner = TubCleaner::new(CleanConfig {
+            margin_before,
+            margin_after,
+            ..Default::default()
+        });
+        let a = cleaner.analyse(&records);
+        let b = cleaner.analyse(&records);
+        prop_assert_eq!(a.flagged.clone(), b.flagged.clone());
+
+        // Soundness: every crash flagged as Crash.
+        for &i in &incidents {
+            prop_assert!(
+                a.flagged.iter().any(|&(id, r)| id == i as u64 && r == CleanReason::Crash)
+            );
+        }
+        // Bound: flagged count ≤ incidents * (1 + margins), and no flags
+        // outside the union of margins.
+        let max_flags = incidents.len() * (1 + margin_before + margin_after);
+        prop_assert!(a.count() <= max_flags.min(n));
+        for &(id, _) in &a.flagged {
+            let near = incidents.iter().any(|&i| {
+                let lo = i.saturating_sub(margin_before) as u64;
+                let hi = (i + margin_after) as u64;
+                (lo..=hi).contains(&id)
+            });
+            prop_assert!(near, "record {id} flagged without a nearby incident");
+        }
+    }
+
+    /// Stats histogram always partitions the record count, and incident
+    /// counters match the flags.
+    #[test]
+    fn stats_partition(controls in prop::collection::vec(-1.0f32..=1.0, 1..100), bins in 1usize..30) {
+        let records: Vec<Record> = controls
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| record(i as u64, s, 0.5, i % 7 == 0, i % 5 == 0))
+            .collect();
+        let stats = TubStats::compute(&records, bins);
+        prop_assert_eq!(stats.steering_hist.iter().sum::<usize>(), records.len());
+        prop_assert_eq!(stats.crash_count, records.iter().filter(|r| r.crashed).count());
+        prop_assert_eq!(stats.off_track_count, records.iter().filter(|r| r.off_track).count());
+        prop_assert!(stats.steering_mean.abs() <= 1.0 + 1e-9);
+    }
+}

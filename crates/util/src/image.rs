@@ -1,0 +1,205 @@
+//! Raw image container shared across the camera simulator, the tub dataset
+//! format and the neural-network front end.
+//!
+//! DonkeyCar records 160x120 RGB JPEG frames; we keep frames as raw
+//! interleaved `u8` (HWC layout) since nothing in the reproduction needs a
+//! compressed on-disk form, and raw buffers keep the camera → tensor path a
+//! straight normalisation loop.
+
+use serde::{Deserialize, Serialize};
+
+/// A raw 8-bit image, interleaved channels (HWC).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Image {
+    pub width: usize,
+    pub height: usize,
+    /// 1 = grayscale, 3 = RGB.
+    pub channels: usize,
+    pub data: Vec<u8>,
+}
+
+impl Image {
+    /// Allocate a zeroed image.
+    pub fn new(width: usize, height: usize, channels: usize) -> Self {
+        assert!(channels == 1 || channels == 3, "channels must be 1 or 3");
+        Image {
+            width,
+            height,
+            channels,
+            data: vec![0; width * height * channels],
+        }
+    }
+
+    /// Total number of bytes (= pixels x channels).
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    #[inline]
+    fn index(&self, x: usize, y: usize, c: usize) -> usize {
+        (y * self.width + x) * self.channels + c
+    }
+
+    /// Read one channel of one pixel. Panics out of bounds (debug-friendly;
+    /// the renderers iterate in-bounds by construction).
+    #[inline]
+    pub fn get(&self, x: usize, y: usize, c: usize) -> u8 {
+        self.data[self.index(x, y, c)]
+    }
+
+    /// Write one channel of one pixel.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, c: usize, v: u8) {
+        let i = self.index(x, y, c);
+        self.data[i] = v;
+    }
+
+    /// Fill every channel of pixel (x, y).
+    #[inline]
+    pub fn set_pixel(&mut self, x: usize, y: usize, rgb: [u8; 3]) {
+        for c in 0..self.channels {
+            self.set(x, y, c, rgb[c.min(2)]);
+        }
+    }
+
+    /// Convert to normalised `f32` in [0, 1], HWC order — the layout the
+    /// neural-network front end consumes.
+    pub fn to_f32(&self) -> Vec<f32> {
+        self.data.iter().map(|&b| f32::from(b) / 255.0).collect()
+    }
+
+    /// Collapse to single-channel grayscale using the Rec.601 luma weights.
+    pub fn to_grayscale(&self) -> Image {
+        if self.channels == 1 {
+            return self.clone();
+        }
+        let mut out = Image::new(self.width, self.height, 1);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let r = f32::from(self.get(x, y, 0));
+                let g = f32::from(self.get(x, y, 1));
+                let b = f32::from(self.get(x, y, 2));
+                let l = (0.299 * r + 0.587 * g + 0.114 * b).round().min(255.0) as u8;
+                out.set(x, y, 0, l);
+            }
+        }
+        out
+    }
+
+    /// Nearest-neighbour downscale; used to feed small conv models quickly
+    /// in tests without changing the camera.
+    pub fn resize(&self, new_w: usize, new_h: usize) -> Image {
+        let mut out = Image::new(new_w, new_h, self.channels);
+        for y in 0..new_h {
+            let sy = y * self.height / new_h;
+            for x in 0..new_w {
+                let sx = x * self.width / new_w;
+                for c in 0..self.channels {
+                    out.set(x, y, c, self.get(sx, sy, c));
+                }
+            }
+        }
+        out
+    }
+
+    /// Horizontal mirror (left-right flip) — the classic driving-data
+    /// augmentation: a mirrored frame pairs with a negated steering value.
+    pub fn flip_horizontal(&self) -> Image {
+        let mut out = Image::new(self.width, self.height, self.channels);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                for c in 0..self.channels {
+                    out.set(self.width - 1 - x, y, c, self.get(x, y, c));
+                }
+            }
+        }
+        out
+    }
+
+    /// Mean pixel intensity in [0, 255]; a cheap summary used by data-quality
+    /// heuristics (an all-dark frame means the camera saw no track).
+    pub fn mean_intensity(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.data.iter().map(|&b| f64::from(b)).sum::<f64>() / self.data.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_zeroed_with_right_size() {
+        let img = Image::new(4, 3, 3);
+        assert_eq!(img.len(), 36);
+        assert!(img.data.iter().all(|&b| b == 0));
+        assert_eq!(img.mean_intensity(), 0.0);
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut img = Image::new(5, 5, 3);
+        img.set(2, 3, 1, 200);
+        assert_eq!(img.get(2, 3, 1), 200);
+        img.set_pixel(0, 0, [10, 20, 30]);
+        assert_eq!(img.get(0, 0, 0), 10);
+        assert_eq!(img.get(0, 0, 1), 20);
+        assert_eq!(img.get(0, 0, 2), 30);
+    }
+
+    #[test]
+    fn to_f32_normalises() {
+        let mut img = Image::new(1, 1, 1);
+        img.set(0, 0, 0, 255);
+        assert_eq!(img.to_f32(), vec![1.0]);
+    }
+
+    #[test]
+    fn grayscale_weights_sum_to_one() {
+        let mut img = Image::new(1, 1, 3);
+        img.set_pixel(0, 0, [100, 100, 100]);
+        let g = img.to_grayscale();
+        assert_eq!(g.channels, 1);
+        assert_eq!(g.get(0, 0, 0), 100);
+    }
+
+    #[test]
+    fn grayscale_of_grayscale_is_identity() {
+        let mut img = Image::new(2, 2, 1);
+        img.set(1, 1, 0, 77);
+        assert_eq!(img.to_grayscale(), img);
+    }
+
+    #[test]
+    fn resize_preserves_corners_for_integer_scale() {
+        let mut img = Image::new(4, 4, 1);
+        img.set(0, 0, 0, 9);
+        img.set(3, 3, 0, 7);
+        let half = img.resize(2, 2);
+        assert_eq!(half.width, 2);
+        assert_eq!(half.get(0, 0, 0), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "channels must be 1 or 3")]
+    fn rejects_bad_channel_count() {
+        let _ = Image::new(2, 2, 4);
+    }
+
+    #[test]
+    fn flip_horizontal_mirrors_and_is_involutive() {
+        let mut img = Image::new(3, 2, 1);
+        img.set(0, 0, 0, 10);
+        img.set(2, 1, 0, 99);
+        let flipped = img.flip_horizontal();
+        assert_eq!(flipped.get(2, 0, 0), 10);
+        assert_eq!(flipped.get(0, 1, 0), 99);
+        assert_eq!(flipped.flip_horizontal(), img);
+    }
+}

@@ -1,0 +1,21 @@
+//! Shared foundations for the AutoLearn reproduction.
+//!
+//! Everything in this crate is deliberately small and dependency-free (apart
+//! from `rand`/`serde`): a simulated-time representation and discrete-event
+//! clock used by the cloud/edge/network substrates, a raw image container
+//! shared by the camera simulator, the tub dataset format and the neural
+//! network library, typed id generation, and streaming statistics used by the
+//! experiment harnesses.
+
+pub mod ids;
+pub mod image;
+pub mod rng;
+pub mod simclock;
+pub mod stats;
+pub mod time;
+
+pub use ids::IdGen;
+pub use image::Image;
+pub use simclock::SimClock;
+pub use stats::{percentile, RunningStats, Summary};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,71 @@
+//! Seeded RNG helpers.
+//!
+//! Every stochastic component in the reproduction takes an explicit seed so
+//! experiments replay bit-for-bit. These helpers centralise seed derivation
+//! so that independent subsystems seeded from one master seed do not share
+//! correlated streams.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Build a `StdRng` from a plain `u64` seed.
+pub fn rng_from_seed(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Derive a child seed from a master seed and a stream label.
+///
+/// Uses the SplitMix64 finaliser over `master ^ hash(label)` — cheap, stable
+/// across platforms, and decorrelates streams far better than `master + i`.
+pub fn derive_seed(master: u64, label: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
+    for b in label.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    splitmix64(master ^ h)
+}
+
+/// Derive a child RNG from a master seed and a stream label.
+pub fn derive_rng(master: u64, label: &str) -> StdRng {
+    rng_from_seed(derive_seed(master, label))
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = rng_from_seed(42);
+        let mut b = rng_from_seed(42);
+        for _ in 0..16 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn derived_seeds_differ_by_label() {
+        let s1 = derive_seed(7, "camera");
+        let s2 = derive_seed(7, "actuator");
+        let s3 = derive_seed(8, "camera");
+        assert_ne!(s1, s2);
+        assert_ne!(s1, s3);
+    }
+
+    #[test]
+    fn derivation_is_deterministic() {
+        assert_eq!(derive_seed(123, "net"), derive_seed(123, "net"));
+        let mut a = derive_rng(123, "net");
+        let mut b = derive_rng(123, "net");
+        assert_eq!(a.gen::<f64>(), b.gen::<f64>());
+    }
+}

@@ -1,0 +1,168 @@
+//! A minimal discrete-event clock.
+//!
+//! The cloud and edge substrates model long-running activities (provisioning
+//! a bare-metal node, rsync-ing a dataset, training for twenty minutes of
+//! GPU time) by scheduling completion events on this clock instead of
+//! sleeping. Events carry an arbitrary payload `E`; ties in time are broken
+//! by insertion order so runs are fully deterministic.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first,
+        // with the lowest sequence number winning ties.
+        other
+            .at
+            .partial_cmp(&self.at)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Discrete-event simulation clock with a typed event queue.
+pub struct SimClock<E> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Scheduled<E>>,
+}
+
+impl<E> Default for SimClock<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> SimClock<E> {
+    pub fn new() -> Self {
+        SimClock {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule `event` to fire at absolute time `at`. Scheduling in the past
+    /// is clamped to `now` (the event fires on the next step).
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled { at, seq, event });
+    }
+
+    /// Schedule `event` to fire `after` from now.
+    pub fn schedule_after(&mut self, after: SimDuration, event: E) {
+        self.schedule_at(self.now + after.clamp_non_negative(), event);
+    }
+
+    /// Pop the next event, advancing `now` to its timestamp.
+    pub fn step(&mut self) -> Option<(SimTime, E)> {
+        let Scheduled { at, event, .. } = self.queue.pop()?;
+        self.now = at;
+        Some((at, event))
+    }
+
+    /// Advance the clock without an event (e.g. idle waiting). Refuses to
+    /// move backwards.
+    pub fn advance_to(&mut self, t: SimTime) {
+        self.now = self.now.max(t);
+    }
+
+    /// Drain every event in timestamp order, calling `f` on each.
+    pub fn run_to_completion(&mut self, mut f: impl FnMut(SimTime, E)) {
+        while let Some((t, e)) = self.step() {
+            f(t, e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut clock = SimClock::new();
+        clock.schedule_at(SimTime::from_secs(3.0), "c");
+        clock.schedule_at(SimTime::from_secs(1.0), "a");
+        clock.schedule_at(SimTime::from_secs(2.0), "b");
+        let mut order = Vec::new();
+        clock.run_to_completion(|t, e| order.push((t.as_secs(), e)));
+        assert_eq!(order, vec![(1.0, "a"), (2.0, "b"), (3.0, "c")]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut clock = SimClock::new();
+        for label in ["first", "second", "third"] {
+            clock.schedule_at(SimTime::from_secs(5.0), label);
+        }
+        let mut order = Vec::new();
+        clock.run_to_completion(|_, e| order.push(e));
+        assert_eq!(order, vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn now_advances_with_steps() {
+        let mut clock = SimClock::new();
+        clock.schedule_after(SimDuration::from_secs(10.0), ());
+        assert_eq!(clock.now(), SimTime::ZERO);
+        clock.step();
+        assert_eq!(clock.now(), SimTime::from_secs(10.0));
+        // Scheduling in the past clamps to now.
+        clock.schedule_at(SimTime::from_secs(1.0), ());
+        let (t, _) = clock.step().unwrap();
+        assert_eq!(t, SimTime::from_secs(10.0));
+    }
+
+    #[test]
+    fn advance_to_never_rewinds() {
+        let mut clock: SimClock<()> = SimClock::new();
+        clock.advance_to(SimTime::from_secs(7.0));
+        clock.advance_to(SimTime::from_secs(3.0));
+        assert_eq!(clock.now(), SimTime::from_secs(7.0));
+    }
+
+    #[test]
+    fn pending_counts_queue() {
+        let mut clock = SimClock::new();
+        assert_eq!(clock.pending(), 0);
+        clock.schedule_after(SimDuration::from_secs(1.0), 1u32);
+        clock.schedule_after(SimDuration::from_secs(2.0), 2u32);
+        assert_eq!(clock.pending(), 2);
+        clock.step();
+        assert_eq!(clock.pending(), 1);
+    }
+}

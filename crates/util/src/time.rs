@@ -1,0 +1,265 @@
+//! Simulated time.
+//!
+//! All substrates (cloud testbed, edge devices, network links) operate on a
+//! shared simulated timeline rather than the host clock, so experiments are
+//! deterministic and can model hours of testbed activity in milliseconds of
+//! host time. Time is kept as `f64` seconds since the start of the scenario;
+//! at the scales we simulate (< years) the 52-bit mantissa gives sub-
+//! microsecond resolution, which is far below any latency we model.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant on the simulated timeline, in seconds since scenario start.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct SimTime(pub f64);
+
+/// A span of simulated time, in seconds. May not be negative when produced
+/// by the constructors; arithmetic is the caller's responsibility.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct SimDuration(pub f64);
+
+impl SimTime {
+    /// The scenario origin.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Construct from seconds.
+    pub fn from_secs(s: f64) -> Self {
+        SimTime(s)
+    }
+
+    /// Seconds since scenario start.
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// Duration elapsed since `earlier`. Saturates at zero if `earlier` is
+    /// in the future (useful when sampling noisy timestamps).
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration((self.0 - earlier.0).max(0.0))
+    }
+
+    /// The later of two instants.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The earlier of two instants.
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl SimDuration {
+    pub const ZERO: SimDuration = SimDuration(0.0);
+
+    pub fn from_secs(s: f64) -> Self {
+        debug_assert!(s.is_finite(), "duration must be finite, got {s}");
+        SimDuration(s)
+    }
+
+    pub fn from_millis(ms: f64) -> Self {
+        SimDuration(ms / 1e3)
+    }
+
+    pub fn from_micros(us: f64) -> Self {
+        SimDuration(us / 1e6)
+    }
+
+    pub fn from_mins(m: f64) -> Self {
+        SimDuration(m * 60.0)
+    }
+
+    pub fn from_hours(h: f64) -> Self {
+        SimDuration(h * 3600.0)
+    }
+
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    pub fn as_millis(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    pub fn as_mins(self) -> f64 {
+        self.0 / 60.0
+    }
+
+    pub fn as_hours(self) -> f64 {
+        self.0 / 3600.0
+    }
+
+    /// Clamp to be non-negative.
+    pub fn clamp_non_negative(self) -> SimDuration {
+        SimDuration(self.0.max(0.0))
+    }
+
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<f64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: f64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: f64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Div<SimDuration> for SimDuration {
+    type Output = f64;
+    fn div(self, rhs: SimDuration) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}", SimDuration(self.0))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.0;
+        if s < 1e-3 {
+            write!(f, "{:.1}us", s * 1e6)
+        } else if s < 1.0 {
+            write!(f, "{:.2}ms", s * 1e3)
+        } else if s < 120.0 {
+            write!(f, "{:.2}s", s)
+        } else if s < 2.0 * 3600.0 {
+            write!(f, "{:.1}min", s / 60.0)
+        } else {
+            write!(f, "{:.2}h", s / 3600.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let t0 = SimTime::from_secs(10.0);
+        let d = SimDuration::from_secs(5.5);
+        let t1 = t0 + d;
+        assert_eq!(t1.as_secs(), 15.5);
+        assert_eq!((t1 - t0).as_secs(), 5.5);
+        assert_eq!(t1.since(t0).as_secs(), 5.5);
+        assert_eq!(t0.since(t1), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn duration_constructors_agree() {
+        assert!((SimDuration::from_millis(1500.0).as_secs() - 1.5).abs() < 1e-12);
+        assert!((SimDuration::from_micros(2_000_000.0).as_secs() - 2.0).abs() < 1e-12);
+        assert!((SimDuration::from_mins(2.0).as_secs() - 120.0).abs() < 1e-12);
+        assert!((SimDuration::from_hours(1.0).as_secs() - 3600.0).abs() < 1e-12);
+        assert!((SimDuration::from_hours(1.0).as_mins() - 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_scales_units() {
+        assert_eq!(format!("{}", SimDuration::from_micros(12.0)), "12.0us");
+        assert_eq!(format!("{}", SimDuration::from_millis(3.5)), "3.50ms");
+        assert_eq!(format!("{}", SimDuration::from_secs(42.0)), "42.00s");
+        assert_eq!(format!("{}", SimDuration::from_mins(10.0)), "10.0min");
+        assert_eq!(format!("{}", SimDuration::from_hours(3.0)), "3.00h");
+    }
+
+    #[test]
+    fn min_max_choose_endpoints() {
+        let a = SimTime::from_secs(1.0);
+        let b = SimTime::from_secs(2.0);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(
+            SimDuration::from_secs(1.0).max(SimDuration::from_secs(3.0)),
+            SimDuration::from_secs(3.0)
+        );
+    }
+
+    #[test]
+    fn scalar_ops() {
+        let d = SimDuration::from_secs(4.0);
+        assert_eq!((d * 2.0).as_secs(), 8.0);
+        assert_eq!((d / 2.0).as_secs(), 2.0);
+        assert_eq!(d / SimDuration::from_secs(2.0), 2.0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Tour of the six DonkeyCar model architectures (§3.3: "AutoLearn comes
+//! with six tested models, including linear, memory, 3D, categorical,
+//! inferred, and RNN").
+//!
+//! Trains each on the same simulator dataset and races them: the paper's
+//! students "found that the inferred model was best because it gave the car
+//! the ability to speed fast, while still being accurate" — check whether
+//! the reproduction agrees.
+//!
+//! ```sh
+//! cargo run --release --example model_zoo_tour
+//! ```
+
+use autolearn::collect::{collect_session, CollectConfig, CollectionPath};
+use autolearn::dataset::records_to_dataset;
+use autolearn::modelpilot::ModelPilot;
+use autolearn::pathway::competition_score;
+use autolearn_nn::models::{prepare_dataset, CarModel, DonkeyModel, ModelConfig, ModelKind};
+use autolearn_nn::{TrainConfig, Trainer};
+use autolearn_sim::{CameraConfig, CarConfig, DriveConfig, Simulation};
+use autolearn_track::paper_oval;
+
+fn main() {
+    let track = paper_oval();
+    let model_cfg = ModelConfig {
+        height: 30,
+        width: 40,
+        channels: 1,
+        seed: 5,
+        ..Default::default()
+    };
+
+    println!("collecting a shared training dataset (3 min of driving)...");
+    let collected = collect_session(
+        &track,
+        &CollectConfig::new(CollectionPath::Simulator, 180.0, 5),
+    );
+    let raw = records_to_dataset(&collected.records, &model_cfg);
+
+    println!(
+        "\n{:<12} {:>8} {:>9} {:>9} {:>9} {:>8} {:>8} {:>7}",
+        "model", "params", "kflops", "val loss", "autonomy", "v(m/s)", "err/lap", "score"
+    );
+
+    let mut results: Vec<(ModelKind, f64)> = Vec::new();
+    for kind in ModelKind::all() {
+        let mut model = CarModel::build(kind, &model_cfg);
+        let data = prepare_dataset(&raw, model.input_spec());
+        let report = Trainer::new(TrainConfig {
+            epochs: 10,
+            seed: 5,
+            ..Default::default()
+        })
+        .fit(&mut model, &data);
+
+        let params = model.param_count();
+        let kflops = model.flops_per_inference() / 1000;
+
+        let mut sim = Simulation::new(
+            track.clone(),
+            CarConfig::default(),
+            CameraConfig::small(),
+            DriveConfig {
+                store_images: false,
+                ..Default::default()
+            },
+        );
+        let mut pilot = ModelPilot::new(model);
+        let session = sim.run_laps(&mut pilot, 4, 150.0);
+
+        let score = competition_score(
+            session.mean_speed(),
+            session.autonomy(),
+            session.errors_per_lap(),
+        );
+        println!(
+            "{:<12} {:>8} {:>9} {:>9.4} {:>8.1}% {:>8.2} {:>8.2} {:>7.3}",
+            kind.name(),
+            params,
+            kflops,
+            report.best_val_loss,
+            session.autonomy() * 100.0,
+            session.mean_speed(),
+            session.errors_per_lap(),
+            score
+        );
+        results.push((kind, score));
+    }
+
+    results.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    println!(
+        "\nwinner by competition score: {} (paper's students picked: inferred)",
+        results[0].0.name()
+    );
+}

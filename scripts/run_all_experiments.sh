@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Regenerate every paper figure/claim. Outputs land in results/.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p autolearn-bench --bins
+
+mkdir -p results
+for bin in exp_f1_pipeline exp_f2_collection_paths exp_f3_tracks \
+           exp_t1_model_zoo exp_t2_gpu_sweep exp_t3_inference_placement \
+           exp_t3b_remote_loop exp_t4_consistency exp_t5_digital_twin \
+           exp_t6_trovi_funnel exp_t7_dataset_sweep exp_t8_zero_to_ready \
+           exp_t9_cleaning exp_t10_rl exp_t11_reservations \
+           exp_a1_camera_ablation exp_a2_multigpu exp_a3_augmentation; do
+    echo "=== $bin ==="
+    ./target/release/"$bin" | tee "results/$bin.txt"
+    echo
+done

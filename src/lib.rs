@@ -1,0 +1,33 @@
+//! # AutoLearn — reproduction umbrella crate
+//!
+//! A from-scratch Rust reproduction of *"AutoLearn: Learning in the Edge to
+//! Cloud Continuum"* (SC-W 2023). This crate re-exports every subsystem so
+//! downstream users can depend on one crate; the interesting code lives in
+//! the workspace members:
+//!
+//! | crate | what it is |
+//! |---|---|
+//! | [`core`](autolearn) | the educational module: pipeline, pathways, placement, twin, RL |
+//! | [`track`] | track geometry (the paper's tape oval, Waveshare, procedural) |
+//! | [`sim`] | car physics + synthetic camera + drive loop + pilots |
+//! | [`tub`] | the DonkeyCar tub dataset format + tubclean |
+//! | [`nn`] | from-scratch neural nets: the six DonkeyCar model architectures |
+//! | [`cloud`] | Chameleon substrate: GPUs, reservations, provisioning, object store |
+//! | [`edge`] | CHI@Edge: BYOD devices, containers, whitelists |
+//! | [`net`] | edge↔cloud network model |
+//! | [`trovi`] | artifact hub: versions, notebooks, launch/execution metrics |
+//!
+//! See `README.md` for a guided tour, `DESIGN.md` for the system inventory
+//! and the paper-to-module map, and `examples/` for runnable walkthroughs
+//! starting with `cargo run --release --example quickstart`.
+
+pub use autolearn as core;
+pub use autolearn_cloud as cloud;
+pub use autolearn_edge as edge;
+pub use autolearn_net as net;
+pub use autolearn_nn as nn;
+pub use autolearn_sim as sim;
+pub use autolearn_track as track;
+pub use autolearn_trovi as trovi;
+pub use autolearn_tub as tub;
+pub use autolearn_util as util;
