@@ -1,0 +1,188 @@
+//! Checked-in allowlist for lint findings.
+//!
+//! The file format is a small, hand-parsed subset of TOML (this crate is
+//! dependency-free): an array of `[[allow]]` tables with string values.
+//!
+//! ```toml
+//! [[allow]]
+//! rule = "no-unwrap-in-lib"      # or "*" for every rule
+//! path = "shims/*"               # exact path, or prefix glob with a trailing *
+//! reason = "vendored shims mirror upstream APIs"
+//! ```
+//!
+//! Every entry must carry a non-empty `reason`; allowlisting without a
+//! justification defeats the point of the audit trail.
+
+use super::rules::Finding;
+
+/// One allowlist entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllowEntry {
+    /// Rule id this entry silences, or `*` for all rules.
+    pub rule: String,
+    /// Workspace-relative path; a trailing `*` makes it a prefix match.
+    pub path: String,
+    /// Why the findings are acceptable (required).
+    pub reason: String,
+}
+
+impl AllowEntry {
+    /// Does this entry cover `f`?
+    pub fn matches(&self, f: &Finding) -> bool {
+        let rule_ok = self.rule == "*" || self.rule == f.rule;
+        let path_ok = match self.path.strip_suffix('*') {
+            Some(prefix) => f.path.starts_with(prefix),
+            None => f.path == self.path,
+        };
+        rule_ok && path_ok
+    }
+}
+
+/// The parsed allowlist.
+#[derive(Debug, Clone, Default)]
+pub struct Allowlist {
+    pub entries: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    /// First entry covering `f`, if any.
+    pub fn covering(&self, f: &Finding) -> Option<&AllowEntry> {
+        self.entries.iter().find(|e| e.matches(f))
+    }
+
+    /// Parse the allowlist text; returns an error message naming the
+    /// offending line on malformed input.
+    pub fn parse(text: &str) -> Result<Allowlist, String> {
+        let mut entries = Vec::new();
+        let mut current: Option<AllowEntry> = None;
+
+        for (i, raw) in text.lines().enumerate() {
+            let line = strip_line_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[[allow]]" {
+                if let Some(e) = current.take() {
+                    finish(e, &mut entries)?;
+                }
+                current = Some(AllowEntry {
+                    rule: String::new(),
+                    path: String::new(),
+                    reason: String::new(),
+                });
+                continue;
+            }
+            let Some((key, value)) = parse_assignment(line) else {
+                return Err(format!("allowlist line {}: cannot parse `{raw}`", i + 1));
+            };
+            let Some(entry) = current.as_mut() else {
+                return Err(format!(
+                    "allowlist line {}: `{key}` outside an [[allow]] table",
+                    i + 1
+                ));
+            };
+            match key {
+                "rule" => entry.rule = value,
+                "path" => entry.path = value,
+                "reason" => entry.reason = value,
+                other => {
+                    return Err(format!("allowlist line {}: unknown key `{other}`", i + 1));
+                }
+            }
+        }
+        if let Some(e) = current.take() {
+            finish(e, &mut entries)?;
+        }
+        Ok(Allowlist { entries })
+    }
+}
+
+fn finish(e: AllowEntry, entries: &mut Vec<AllowEntry>) -> Result<(), String> {
+    if e.rule.is_empty() || e.path.is_empty() {
+        return Err(format!("allowlist entry missing rule or path: {e:?}"));
+    }
+    if e.reason.trim().is_empty() {
+        return Err(format!(
+            "allowlist entry for {} on {} has no reason",
+            e.rule, e.path
+        ));
+    }
+    entries.push(e);
+    Ok(())
+}
+
+/// Strip a `#`-comment that is not inside a quoted string.
+fn strip_line_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parse `key = "value"`.
+fn parse_assignment(line: &str) -> Option<(&str, String)> {
+    let (key, rest) = line.split_once('=')?;
+    let rest = rest.trim();
+    let value = rest.strip_prefix('"')?.strip_suffix('"')?;
+    Some((key.trim(), value.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, path: &str) -> Finding {
+        Finding {
+            rule,
+            path: path.to_string(),
+            crate_name: "x".to_string(),
+            line: 1,
+            message: String::new(),
+            excerpt: String::new(),
+        }
+    }
+
+    #[test]
+    fn parses_entries_and_matches_globs() {
+        let text = r#"
+# seeded allowlist
+[[allow]]
+rule = "no-unwrap-in-lib"
+path = "shims/*"
+reason = "vendored shims"
+
+[[allow]]
+rule = "*"
+path = "crates/nn/src/tensor.rs"
+reason = "kernel file"
+"#;
+        let allow = Allowlist::parse(text).expect("parses");
+        assert_eq!(allow.entries.len(), 2);
+        assert!(allow
+            .covering(&finding("no-unwrap-in-lib", "shims/rand/src/lib.rs"))
+            .is_some());
+        assert!(allow
+            .covering(&finding("no-unwrap-in-lib", "crates/tub/src/tub.rs"))
+            .is_none());
+        assert!(allow
+            .covering(&finding("panic-audit", "crates/nn/src/tensor.rs"))
+            .is_some());
+    }
+
+    #[test]
+    fn reason_is_mandatory() {
+        let text = "[[allow]]\nrule = \"x\"\npath = \"y\"\n";
+        assert!(Allowlist::parse(text).is_err());
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected() {
+        let text = "[[allow]]\nrule = \"x\"\npath = \"y\"\nreason = \"z\"\nbogus = \"w\"\n";
+        assert!(Allowlist::parse(text).is_err());
+    }
+}

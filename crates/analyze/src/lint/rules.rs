@@ -1,0 +1,430 @@
+//! Built-in lint rules.
+//!
+//! Every rule implements [`Rule`] and works on the preprocessed
+//! [`SourceFile`] views, so none of them can fire inside comments, string
+//! literals or `#[cfg(test)]` blocks (unless a rule opts in). A finding
+//! can be suppressed inline with a comment containing
+//! `analyze::allow(<rule-id>)` on the same line or the line above, or via
+//! the checked-in allowlist (`crates/analyze/allow.toml`).
+
+use super::source::SourceFile;
+
+/// One reported defect.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// Rule identifier (e.g. `no-unwrap-in-lib`).
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub path: String,
+    /// Cargo package the file belongs to.
+    pub crate_name: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// What is wrong.
+    pub message: String,
+    /// The offending raw source line, trimmed.
+    pub excerpt: String,
+}
+
+/// A pluggable lint rule.
+pub trait Rule {
+    /// Stable identifier used in reports, allowlists and inline
+    /// suppressions.
+    fn id(&self) -> &'static str;
+
+    /// One-line description for `--list-rules`.
+    fn description(&self) -> &'static str;
+
+    /// Whether the rule runs on this file at all (path-based scoping).
+    fn applies_to(&self, file: &SourceFile) -> bool {
+        let _ = file;
+        true
+    }
+
+    /// Scan one file and report findings.
+    fn check(&self, file: &SourceFile) -> Vec<Finding>;
+}
+
+/// The built-in rule set, in reporting order.
+pub fn builtin_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(NoUnwrapInLib),
+        Box::new(NoExpectInLib),
+        Box::new(PanicAudit),
+        Box::new(PubItemNeedsDoc),
+        Box::new(NoSleepInHotPath),
+        Box::new(FloatCastTruncation),
+    ]
+}
+
+fn finding(rule: &'static str, file: &SourceFile, line: usize, message: String) -> Finding {
+    Finding {
+        rule,
+        path: file.rel_path.clone(),
+        crate_name: file.crate_name.clone(),
+        line: line + 1,
+        message,
+        excerpt: file
+            .lines
+            .get(line)
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default(),
+    }
+}
+
+/// Scan non-test code lines for a needle, with a per-line veto.
+fn scan_code<F>(
+    rule: &'static str,
+    file: &SourceFile,
+    needles: &[&str],
+    message: F,
+) -> Vec<Finding>
+where
+    F: Fn(&str) -> String,
+{
+    let mut out = Vec::new();
+    for (i, code) in file.code.iter().enumerate() {
+        if file.in_test[i] {
+            continue;
+        }
+        for needle in needles {
+            if code.contains(needle) {
+                out.push(finding(rule, file, i, message(needle)));
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// `Result::unwrap()` / `Option::unwrap()` in library code turns a
+/// recoverable condition into a process abort on the car.
+pub struct NoUnwrapInLib;
+
+impl Rule for NoUnwrapInLib {
+    fn id(&self) -> &'static str {
+        "no-unwrap-in-lib"
+    }
+
+    fn description(&self) -> &'static str {
+        "library code must not call .unwrap(); propagate errors or document the invariant"
+    }
+
+    fn applies_to(&self, file: &SourceFile) -> bool {
+        !file.is_bin
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Finding> {
+        scan_code(self.id(), file, &[".unwrap()"], |_| {
+            "`.unwrap()` in library code; return a Result or use unwrap_or_else with a \
+             documented invariant"
+                .to_string()
+        })
+    }
+}
+
+/// Like unwrap, but `.expect(...)`: still an abort, just with a message.
+pub struct NoExpectInLib;
+
+impl Rule for NoExpectInLib {
+    fn id(&self) -> &'static str {
+        "no-expect-in-lib"
+    }
+
+    fn description(&self) -> &'static str {
+        "library code must not call .expect(); propagate errors instead of aborting"
+    }
+
+    fn applies_to(&self, file: &SourceFile) -> bool {
+        !file.is_bin
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for (i, code) in file.code.iter().enumerate() {
+            if file.in_test[i] {
+                continue;
+            }
+            // `.expect(` but not `.expect_err(` and not our own lint-name
+            // strings (those live in string literals and are blanked).
+            let mut search = code.as_str();
+            while let Some(pos) = search.find(".expect") {
+                let after = &search[pos + ".expect".len()..];
+                if after.starts_with('(') {
+                    out.push(finding(
+                        self.id(),
+                        file,
+                        i,
+                        "`.expect()` in library code; return a Result instead of aborting"
+                            .to_string(),
+                    ));
+                    break;
+                }
+                search = after;
+            }
+        }
+        out
+    }
+}
+
+/// `panic!` / `todo!` / `unimplemented!` must carry an
+/// `INVARIANT:` comment explaining why the condition is impossible or the
+/// stub acceptable.
+pub struct PanicAudit;
+
+impl Rule for PanicAudit {
+    fn id(&self) -> &'static str {
+        "panic-audit"
+    }
+
+    fn description(&self) -> &'static str {
+        "panic!/todo!/unimplemented! need an adjacent `INVARIANT:` comment"
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for (i, code) in file.code.iter().enumerate() {
+            if file.in_test[i] {
+                continue;
+            }
+            for mac in ["panic!(", "todo!(", "unimplemented!("] {
+                if code.contains(mac) && !file.comment_near(i, 2).contains("INVARIANT:") {
+                    out.push(finding(
+                        self.id(),
+                        file,
+                        i,
+                        format!(
+                            "`{}...)` without an `INVARIANT:` comment within 2 lines",
+                            mac.trim_end_matches('(')
+                        ),
+                    ));
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Every `pub` item that is part of a crate's API surface needs a doc
+/// comment. `pub(crate)` / `pub(super)` items and re-exports are exempt.
+pub struct PubItemNeedsDoc;
+
+const PUB_ITEM_KEYWORDS: &[&str] = &[
+    "fn", "struct", "enum", "trait", "type", "const", "static", "mod", "unsafe",
+];
+
+impl Rule for PubItemNeedsDoc {
+    fn id(&self) -> &'static str {
+        "pub-item-needs-doc"
+    }
+
+    fn description(&self) -> &'static str {
+        "public items (pub fn/struct/enum/trait/type/const/static/mod) need /// docs"
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for (i, code) in file.code.iter().enumerate() {
+            if file.in_test[i] {
+                continue;
+            }
+            let trimmed = code.trim_start();
+            let Some(rest) = trimmed.strip_prefix("pub ") else {
+                continue;
+            };
+            let keyword = rest.split_whitespace().next().unwrap_or("");
+            if !PUB_ITEM_KEYWORDS.contains(&keyword) {
+                continue;
+            }
+            if is_documented(file, i) {
+                continue;
+            }
+            out.push(finding(
+                self.id(),
+                file,
+                i,
+                format!("undocumented public item `pub {keyword} ...`"),
+            ));
+        }
+        out
+    }
+}
+
+/// Walk upward over attribute lines; the item is documented if the first
+/// non-attribute line above carries a `///` or `//!` comment.
+fn is_documented(file: &SourceFile, item_line: usize) -> bool {
+    let mut i = item_line;
+    while i > 0 {
+        i -= 1;
+        let code = file.code[i].trim();
+        let comment = file.comments[i].trim();
+        if code.starts_with("#[") || code.ends_with(']') && code.starts_with('#') {
+            continue; // attribute
+        }
+        if code.is_empty() && comment.is_empty() {
+            return false; // blank line: doc block (if any) is detached
+        }
+        if code.is_empty() {
+            return comment.starts_with("///") || comment.starts_with("//!");
+        }
+        return false; // previous line is other code
+    }
+    false
+}
+
+/// `thread::sleep` inside the kernels that run per-frame on the car
+/// (nn / sim / tub) stalls the control loop.
+pub struct NoSleepInHotPath;
+
+impl Rule for NoSleepInHotPath {
+    fn id(&self) -> &'static str {
+        "no-sleep-in-hot-path"
+    }
+
+    fn description(&self) -> &'static str {
+        "no thread::sleep in nn/sim/tub kernels (per-frame control path)"
+    }
+
+    fn applies_to(&self, file: &SourceFile) -> bool {
+        ["crates/nn/src/", "crates/sim/src/", "crates/tub/src/"]
+            .iter()
+            .any(|p| file.rel_path.starts_with(p))
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Finding> {
+        scan_code(self.id(), file, &["thread::sleep"], |_| {
+            "thread::sleep in a hot-path crate; drive timing from the simulation clock"
+                .to_string()
+        })
+    }
+}
+
+/// Narrowing `as` casts in the nn kernels silently truncate; each one
+/// must carry a `cast:` comment stating why the value fits.
+pub struct FloatCastTruncation;
+
+impl Rule for FloatCastTruncation {
+    fn id(&self) -> &'static str {
+        "float-cast-truncation"
+    }
+
+    fn description(&self) -> &'static str {
+        "`as usize` / `as f32` in crates/nn kernels need a `cast:` comment"
+    }
+
+    fn applies_to(&self, file: &SourceFile) -> bool {
+        file.rel_path.starts_with("crates/nn/src/")
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for (i, code) in file.code.iter().enumerate() {
+            if file.in_test[i] {
+                continue;
+            }
+            let has_cast = [" as usize", " as f32"]
+                .iter()
+                .any(|n| contains_token_cast(code, n));
+            if has_cast && !file.comment_near(i, 1).contains("cast:") {
+                out.push(finding(
+                    self.id(),
+                    file,
+                    i,
+                    "narrowing `as` cast without a `cast:` comment on this or the previous line"
+                        .to_string(),
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Match ` as usize` / ` as f32` as a cast, not as part of an identifier
+/// (the needle's leading space plus a following non-ident char).
+fn contains_token_cast(code: &str, needle: &str) -> bool {
+    let mut search = code;
+    while let Some(pos) = search.find(needle) {
+        let after = &search[pos + needle.len()..];
+        let boundary = after
+            .chars()
+            .next()
+            .map(|c| !c.is_alphanumeric() && c != '_')
+            .unwrap_or(true);
+        if boundary {
+            return true;
+        }
+        search = after;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(path: &str, src: &str) -> SourceFile {
+        SourceFile::parse(path, "test-crate", src)
+    }
+
+    #[test]
+    fn unwrap_fires_in_lib_not_in_tests_or_bins() {
+        let src = "pub fn f() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn g() { y.unwrap(); }\n}\n";
+        let lib = file("crates/x/src/lib.rs", src);
+        let found = NoUnwrapInLib.check(&lib);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].line, 1);
+        let bin = file("crates/x/src/bin/tool.rs", src);
+        assert!(!NoUnwrapInLib.applies_to(&bin));
+    }
+
+    #[test]
+    fn expect_fires_but_expect_err_does_not() {
+        let src = "fn f() { a.expect(\"boom\"); b.expect_err(\"fine\"); }\n";
+        let found = NoExpectInLib.check(&file("crates/x/src/lib.rs", src));
+        assert_eq!(found.len(), 1, "{found:?}");
+    }
+
+    #[test]
+    fn panic_audit_accepts_invariant_comment() {
+        let bad = "fn f() { panic!(\"no\"); }\n";
+        assert_eq!(PanicAudit.check(&file("crates/x/src/a.rs", bad)).len(), 1);
+        let good = "// INVARIANT: checked by caller\nfn f() { panic!(\"no\"); }\n";
+        assert!(PanicAudit.check(&file("crates/x/src/a.rs", good)).is_empty());
+    }
+
+    #[test]
+    fn pub_doc_rule_sees_docs_through_attributes() {
+        let good = "/// Documented.\n#[derive(Debug)]\npub struct A;\n";
+        assert!(PubItemNeedsDoc.check(&file("crates/x/src/a.rs", good)).is_empty());
+        let bad = "pub fn undocd() {}\n";
+        assert_eq!(PubItemNeedsDoc.check(&file("crates/x/src/a.rs", bad)).len(), 1);
+        let scoped = "pub(crate) fn internal() {}\n";
+        assert!(PubItemNeedsDoc.check(&file("crates/x/src/a.rs", scoped)).is_empty());
+    }
+
+    #[test]
+    fn sleep_rule_is_path_scoped() {
+        let src = "fn f() { std::thread::sleep(d); }\n";
+        let hot = file("crates/nn/src/tensor.rs", src);
+        assert!(NoSleepInHotPath.applies_to(&hot));
+        assert_eq!(NoSleepInHotPath.check(&hot).len(), 1);
+        let cold = file("crates/cloud/src/lib.rs", src);
+        assert!(!NoSleepInHotPath.applies_to(&cold));
+    }
+
+    #[test]
+    fn cast_rule_requires_annotation() {
+        let bad = "fn f(x: f64) -> usize { x as usize }\n";
+        let f = file("crates/nn/src/tensor.rs", bad);
+        assert_eq!(FloatCastTruncation.check(&f).len(), 1);
+        let good = "// cast: index already bounds-checked\nfn f(x: f64) -> usize { x as usize }\n";
+        assert!(FloatCastTruncation
+            .check(&file("crates/nn/src/tensor.rs", good))
+            .is_empty());
+        let ident = "fn f() { let y_as_f32_ish = 1; }\n";
+        assert!(FloatCastTruncation
+            .check(&file("crates/nn/src/tensor.rs", ident))
+            .is_empty());
+    }
+}

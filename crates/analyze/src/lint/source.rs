@@ -1,0 +1,340 @@
+//! Per-file source model for the lint rules.
+//!
+//! A [`SourceFile`] carries three parallel per-line views of a `.rs` file:
+//!
+//! * `lines` — the raw text,
+//! * `code` — the text with comments removed and string/char literal
+//!   *contents* blanked to spaces (delimiters kept), so token-level rules
+//!   never fire on prose,
+//! * `comments` — just the comment text of each line (empty when none),
+//!   used for doc detection and audit-annotation lookups.
+//!
+//! It also records which lines sit inside `#[cfg(test)]`-gated blocks so
+//! every rule can skip test code uniformly.
+
+/// One workspace source file, preprocessed for linting.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel_path: String,
+    /// Cargo package name the file belongs to.
+    pub crate_name: String,
+    /// Raw lines.
+    pub lines: Vec<String>,
+    /// Comment/string-stripped view (same line count as `lines`).
+    pub code: Vec<String>,
+    /// Comment text per line (`""` when the line has no comment).
+    pub comments: Vec<String>,
+    /// True for lines inside a `#[cfg(test)]`-gated block.
+    pub in_test: Vec<bool>,
+    /// True for binary targets (`src/bin/**`, `src/main.rs`): the
+    /// `*-in-lib` rules do not apply there.
+    pub is_bin: bool,
+}
+
+impl SourceFile {
+    /// Preprocess `text` into the three views.
+    pub fn parse(rel_path: &str, crate_name: &str, text: &str) -> SourceFile {
+        let (code, comments) = strip(text);
+        let lines: Vec<String> = text.lines().map(str::to_string).collect();
+        let in_test = mark_cfg_test(&code);
+        let is_bin = rel_path.contains("/bin/") || rel_path.ends_with("main.rs");
+        SourceFile {
+            rel_path: rel_path.to_string(),
+            crate_name: crate_name.to_string(),
+            lines,
+            code,
+            comments,
+            in_test,
+            is_bin,
+        }
+    }
+
+    /// Comment text attached to `line` (0-based) or up to `above` lines
+    /// before it — for "annotate this construct" rules.
+    pub fn comment_near(&self, line: usize, above: usize) -> String {
+        if self.comments.is_empty() {
+            return String::new();
+        }
+        let hi = line.min(self.comments.len() - 1);
+        let lo = hi.saturating_sub(above);
+        self.comments[lo..=hi].join("\n")
+    }
+}
+
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    CharLit,
+}
+
+/// Split `text` into a comment-and-string-blanked code view plus a
+/// comment-only view, both line-aligned with the input.
+fn strip(text: &str) -> (Vec<String>, Vec<String>) {
+    let mut code = Vec::new();
+    let mut comments = Vec::new();
+    let mut code_line = String::new();
+    let mut comment_line = String::new();
+    let mut state = State::Code;
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0;
+
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied().unwrap_or('\0');
+
+        if c == '\n' {
+            if matches!(state, State::LineComment) {
+                state = State::Code;
+            }
+            code.push(std::mem::take(&mut code_line));
+            comments.push(std::mem::take(&mut comment_line));
+            i += 1;
+            continue;
+        }
+
+        match state {
+            State::Code => match c {
+                '/' if next == '/' => {
+                    state = State::LineComment;
+                    comment_line.push_str("//");
+                    code_line.push_str("  ");
+                    i += 2;
+                }
+                '/' if next == '*' => {
+                    state = State::BlockComment(1);
+                    comment_line.push_str("/*");
+                    code_line.push_str("  ");
+                    i += 2;
+                }
+                '"' => {
+                    state = State::Str;
+                    code_line.push('"');
+                    i += 1;
+                }
+                'r' if next == '"' || next == '#' => {
+                    // Possible raw string r"..." / r#"..."#.
+                    let mut j = i + 1;
+                    let mut hashes = 0u32;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'"') {
+                        state = State::RawStr(hashes);
+                        for _ in i..=j {
+                            code_line.push(' ');
+                        }
+                        code_line.pop();
+                        code_line.push('"');
+                        i = j + 1;
+                    } else {
+                        code_line.push(c);
+                        i += 1;
+                    }
+                }
+                '\'' => {
+                    // Distinguish char literal from lifetime: a lifetime is
+                    // `'ident` NOT followed by a closing quote.
+                    let n2 = chars.get(i + 2).copied().unwrap_or('\0');
+                    let is_lifetime =
+                        (next.is_alphanumeric() || next == '_') && n2 != '\'' && next != '\\';
+                    if is_lifetime {
+                        code_line.push(c);
+                        i += 1;
+                    } else {
+                        state = State::CharLit;
+                        code_line.push('\'');
+                        i += 1;
+                    }
+                }
+                _ => {
+                    code_line.push(c);
+                    i += 1;
+                }
+            },
+            State::LineComment => {
+                comment_line.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && next == '/' {
+                    comment_line.push_str("*/");
+                    if depth == 1 {
+                        state = State::Code;
+                    } else {
+                        state = State::BlockComment(depth - 1);
+                    }
+                    i += 2;
+                } else if c == '/' && next == '*' {
+                    comment_line.push_str("/*");
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    comment_line.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => match c {
+                '\\' => {
+                    code_line.push(' ');
+                    if next != '\0' && next != '\n' {
+                        code_line.push(' ');
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                '"' => {
+                    state = State::Code;
+                    code_line.push('"');
+                    i += 1;
+                }
+                _ => {
+                    code_line.push(' ');
+                    i += 1;
+                }
+            },
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let mut j = i + 1;
+                    let mut seen = 0u32;
+                    while seen < hashes && chars.get(j) == Some(&'#') {
+                        seen += 1;
+                        j += 1;
+                    }
+                    if seen == hashes {
+                        code_line.push('"');
+                        for _ in 0..hashes {
+                            code_line.push(' ');
+                        }
+                        state = State::Code;
+                        i = j;
+                    } else {
+                        code_line.push(' ');
+                        i += 1;
+                    }
+                } else {
+                    code_line.push(' ');
+                    i += 1;
+                }
+            }
+            State::CharLit => match c {
+                '\\' => {
+                    code_line.push(' ');
+                    if next != '\0' && next != '\n' {
+                        code_line.push(' ');
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                '\'' => {
+                    state = State::Code;
+                    code_line.push('\'');
+                    i += 1;
+                }
+                _ => {
+                    code_line.push(' ');
+                    i += 1;
+                }
+            },
+        }
+    }
+    code.push(code_line);
+    comments.push(comment_line);
+
+    // Keep the views aligned with `str::lines()` of the input, which drops
+    // a trailing empty segment after a final newline.
+    if text.ends_with('\n') {
+        code.pop();
+        comments.pop();
+    }
+    (code, comments)
+}
+
+/// Mark the line span of every `#[cfg(test)]`-gated item (the attribute
+/// line through the matching close brace of the item's body).
+fn mark_cfg_test(code: &[String]) -> Vec<bool> {
+    let mut in_test = vec![false; code.len()];
+    for (start, line) in code.iter().enumerate() {
+        if !line.contains("#[cfg(test)]") {
+            continue;
+        }
+        // Scan forward for the item's opening brace; a `;` first means a
+        // braceless item (e.g. `mod tests;`) — only the attr line is test.
+        let mut depth = 0i32;
+        let mut opened = false;
+        'scan: for (row, l) in code.iter().enumerate().skip(start) {
+            for c in l.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth -= 1,
+                    ';' if !opened => {
+                        in_test[start] = true;
+                        break 'scan;
+                    }
+                    _ => {}
+                }
+            }
+            in_test[row] = true;
+            if opened && depth <= 0 {
+                break;
+            }
+        }
+    }
+    in_test
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let src = "let x = \"call .unwrap() here\"; // .unwrap() in comment\nlet y = 1;\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", "x", src);
+        assert!(!f.code[0].contains("unwrap"), "{:?}", f.code[0]);
+        assert!(f.comments[0].contains(".unwrap() in comment"));
+        assert_eq!(f.code[1], "let y = 1;");
+    }
+
+    #[test]
+    fn raw_strings_and_chars_are_blanked() {
+        let src = "let s = r#\"panic!(boom)\"#; let c = 'x'; let lt: &'static str = \"\";\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", "x", src);
+        assert!(!f.code[0].contains("panic!"), "{:?}", f.code[0]);
+        assert!(f.code[0].contains("'static"), "{:?}", f.code[0]);
+    }
+
+    #[test]
+    fn nested_block_comments_end_correctly() {
+        let src = "/* a /* b */ still comment */ let z = 2;\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", "x", src);
+        assert!(f.code[0].contains("let z = 2;"), "{:?}", f.code[0]);
+        assert!(!f.code[0].contains("still"), "{:?}", f.code[0]);
+    }
+
+    #[test]
+    fn cfg_test_blocks_are_marked() {
+        let src = "pub fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() { x.unwrap(); }\n}\npub fn c() {}\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", "x", src);
+        assert!(!f.in_test[0]);
+        assert!(f.in_test[1] && f.in_test[2] && f.in_test[3] && f.in_test[4]);
+        assert!(!f.in_test[5]);
+    }
+
+    #[test]
+    fn bin_paths_are_flagged() {
+        let f = SourceFile::parse("crates/bench/src/bin/exp.rs", "bench", "fn main() {}\n");
+        assert!(f.is_bin);
+        let g = SourceFile::parse("crates/nn/src/lib.rs", "nn", "\n");
+        assert!(!g.is_bin);
+    }
+}

@@ -1,0 +1,102 @@
+//! CLI for the workspace lint engine.
+//!
+//! ```text
+//! cargo run -p autolearn-analyze -- --workspace [--root DIR] [--json] [--list-rules]
+//! ```
+//!
+//! Exit status: 0 when no active (non-allowlisted) findings, 1 when
+//! findings remain, 2 on usage / IO errors.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use autolearn_analyze::lint::{report, Linter};
+
+struct Args {
+    workspace: bool,
+    root: PathBuf,
+    json: bool,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        workspace: false,
+        root: PathBuf::from("."),
+        json: false,
+        list_rules: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => args.workspace = true,
+            "--json" => args.json = true,
+            "--list-rules" => args.list_rules = true,
+            "--root" => {
+                let dir = it.next().ok_or("--root needs a directory argument")?;
+                args.root = PathBuf::from(dir);
+            }
+            "--help" | "-h" => {
+                return Err("usage: autolearn-analyze --workspace [--root DIR] [--json] \
+                            [--list-rules]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+/// Walk up from `start` to the manifest that declares `[workspace]`.
+fn find_workspace_root(start: &Path) -> PathBuf {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return dir;
+                }
+            }
+        }
+        if !dir.pop() {
+            return start.to_path_buf();
+        }
+    }
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    let root = find_workspace_root(&args.root);
+
+    let linter = Linter::new().with_allowlist_file(&root.join("crates/analyze/allow.toml"))?;
+
+    if args.list_rules {
+        for (id, description) in linter.rule_catalog() {
+            println!("{id:<24} {description}");
+        }
+        return Ok(true);
+    }
+    if !args.workspace {
+        return Err("nothing to do: pass --workspace (and see --help)".to_string());
+    }
+
+    let outcome = linter.run_workspace(&root)?;
+    if args.json {
+        print!("{}", report::render_json(&outcome));
+    } else {
+        print!("{}", report::render_human(&outcome));
+    }
+    Ok(outcome.active.is_empty())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(message) => {
+            eprintln!("autolearn-analyze: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

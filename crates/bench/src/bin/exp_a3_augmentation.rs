@@ -42,7 +42,8 @@ fn main() {
             seed: 23,
             ..Default::default()
         })
-        .fit(&mut model, &data);
+        .fit(&mut model, &data)
+        .expect("zoo graph validates");
         SavedModel::capture(&mut model)
     };
 

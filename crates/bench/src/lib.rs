@@ -30,7 +30,7 @@ use autolearn::collect::{collect_session, CollectConfig, CollectionPath};
 use autolearn::dataset::records_to_dataset;
 use autolearn::modelpilot::ModelPilot;
 use autolearn_nn::models::{prepare_dataset, CarModel, DonkeyModel, ModelConfig, ModelKind};
-use autolearn_nn::{TrainConfig, TrainReport, Trainer};
+use autolearn_nn::{format_errors, TrainConfig, TrainReport, Trainer};
 use autolearn_sim::{CameraConfig, CarConfig, DriveConfig, SessionResult, Simulation};
 use autolearn_track::Track;
 use autolearn_tub::Record;
@@ -94,7 +94,10 @@ pub fn train_model(
         seed,
         ..Default::default()
     })
-    .fit(&mut model, &data);
+    .fit(&mut model, &data)
+    // INVARIANT: zoo-built models always publish a valid graph spec; a
+    // pre-flight rejection here means the zoo itself regressed.
+    .unwrap_or_else(|errs| panic!("model graph rejected:\n{}", format_errors(&errs)));
     (model, report)
 }
 

@@ -49,15 +49,15 @@ pub fn signal_scene(signal: Signal, seed: u64) -> Image {
     let mut img = Image::new(32, 24, 3);
     // Grey floor background with noise.
     for px in img.data.iter_mut() {
-        *px = 90 + rng.gen_range(0..30);
+        *px = 90 + rng.gen_range(0..30u8);
     }
     // Coloured blob for stop/go scenes.
     if signal != Signal::None {
-        let (cx, cy) = (rng.gen_range(8..24), rng.gen_range(6..18));
+        let (cx, cy) = (rng.gen_range(8..24i32), rng.gen_range(6..18i32));
         let r = rng.gen_range(3..6i32);
         let color = match signal {
-            Signal::Stop => [200 + rng.gen_range(0..40), 20, 30],
-            Signal::Go => [20, 180 + rng.gen_range(0..50), 40],
+            Signal::Stop => [200 + rng.gen_range(0..40u8), 20, 30],
+            Signal::Go => [20, 180 + rng.gen_range(0..50u8), 40],
             Signal::None => unreachable!(),
         };
         for y in 0..24i32 {
@@ -335,13 +335,13 @@ impl Pilot for PurePursuitPilot {
     fn control(&mut self, obs: &Observation<'_>) -> Controls {
         let (pos, heading) = self.position_fix(obs);
         // Nearest path point, then walk forward to the lookahead.
-        let (mut idx, _) = self
+        let mut idx = self
             .path
             .iter()
             .enumerate()
             .map(|(i, p)| (i, p.dist_sq(pos)))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-            .unwrap();
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .map_or(0, |(i, _)| i);
         let mut travelled = 0.0;
         while travelled < self.lookahead_m {
             let next = (idx + 1) % self.path.len();

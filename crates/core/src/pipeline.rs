@@ -15,7 +15,9 @@ use autolearn_cloud::provision::ProvisioningPlan;
 use autolearn_cloud::reservation::ReservationSystem;
 use autolearn_net::{transfer_time, Path, TransferSpec};
 use autolearn_nn::models::{prepare_dataset, CarModel, DonkeyModel, ModelConfig, ModelKind};
-use autolearn_nn::{TrainConfig, TrainReport, Trainer};
+use autolearn_nn::{
+    format_errors, validate_model, GraphError, GraphReport, TrainConfig, TrainReport, Trainer,
+};
 use autolearn_sim::{CarConfig, DriveConfig, Simulation};
 use autolearn_track::Track;
 use autolearn_tub::{CleanConfig, TubCleaner};
@@ -112,10 +114,24 @@ impl Pipeline {
         Pipeline { track, config }
     }
 
+    /// Statically validate the configured model graph (shape propagation
+    /// over the zoo *plan* — no tensors allocated, no model built).
+    /// [`Pipeline::run`] calls this first; callers who want a recoverable
+    /// error instead of a panic call it themselves before `run`.
+    pub fn preflight(&self) -> Result<GraphReport, Vec<GraphError>> {
+        let spec = CarModel::plan(self.config.model_kind, &self.config.model);
+        validate_model(&spec)
+    }
+
     /// Run the whole loop. Host CPU does the math; simulated time is
     /// attributed per stage.
     pub fn run(&self) -> PipelineReport {
         let cfg = &self.config;
+        if let Err(errs) = self.preflight() {
+            // INVARIANT: a degenerate model config must be rejected before
+            // any stage runs; recoverable callers use `preflight()` first.
+            panic!("model plan rejected:\n{}", format_errors(&errs));
+        }
         let mut stages = Vec::new();
 
         // 1. Collect (student drives for the configured duration).
@@ -163,7 +179,11 @@ impl Pipeline {
         let mut model = CarModel::build(cfg.model_kind, &cfg.model);
         let data = prepare_dataset(&records_to_dataset(&records, &cfg.model), model.input_spec());
         let trainer = Trainer::new(cfg.train.clone());
-        let train_report = trainer.fit(&mut model, &data);
+        let train_report = trainer
+            .fit(&mut model, &data)
+            // INVARIANT: preflight() above already validated this plan; the
+            // live graph matching it is asserted by the zoo tests.
+            .unwrap_or_else(|errs| panic!("model graph rejected:\n{}", format_errors(&errs)));
         let cost = TrainingCostModel::new(
             model.flops_per_inference(),
             train_report.examples_seen,
@@ -276,6 +296,25 @@ mod tests {
             report.stage("provision+upload").unwrap().as_secs()
                 > report.stage("train").unwrap().as_secs()
         );
+    }
+
+    #[test]
+    fn preflight_rejects_degenerate_camera() {
+        // A 4x4 camera cannot survive the zoo's conv stack; the pipeline
+        // must reject the config statically, before collecting anything.
+        let mut cfg = quick_config(14);
+        cfg.model.height = 4;
+        cfg.model.width = 4;
+        let pipeline = Pipeline::new(circle_track(3.0, 0.8), cfg);
+        let errs = pipeline.preflight().expect_err("must reject 4x4 camera");
+        assert!(!errs.is_empty());
+    }
+
+    #[test]
+    fn preflight_accepts_the_lesson_default() {
+        let pipeline = Pipeline::new(circle_track(3.0, 0.8), quick_config(15));
+        let report = pipeline.preflight().expect("lesson default validates");
+        assert!(report.total_params > 0);
     }
 
     #[test]

@@ -256,7 +256,7 @@ mod tests {
         // right steering and vice versa.
         let track = circle_track(2.5, 0.8);
         let cfg = RlConfig {
-            episodes: 20,
+            episodes: 32,
             episode_s: 15.0,
             seed: 6,
             ..Default::default()

@@ -115,7 +115,8 @@ mod tests {
             seed,
             ..Default::default()
         })
-        .fit(&mut model, &data);
+        .fit(&mut model, &data)
+        .expect("zoo graph validates");
         model
     }
 

@@ -90,6 +90,7 @@ impl Dataset {
         assert!((0.0..=1.0).contains(&train_frac));
         let mut idx: Vec<usize> = (0..self.len()).collect();
         idx.shuffle(&mut rng_from_seed(seed));
+        // cast: rounded fraction of a usize length is non-negative and fits.
         let cut = (self.len() as f64 * train_frac).round() as usize;
         (self.subset(&idx[..cut]), self.subset(&idx[cut..]))
     }

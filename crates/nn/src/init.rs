@@ -6,12 +6,14 @@ use rand::Rng;
 /// Glorot/Xavier uniform: limit = sqrt(6 / (fan_in + fan_out)). Keras'
 /// default for Dense/Conv layers, so the zoo matches DonkeyCar's defaults.
 pub fn glorot_uniform(shape: &[usize], fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Tensor {
+    // cast: fan sizes are small layer dims, exactly representable in f32.
     let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
     Tensor::uniform(shape, limit, rng)
 }
 
 /// He normal: std = sqrt(2 / fan_in); better for deep ReLU stacks.
 pub fn he_normal(shape: &[usize], fan_in: usize, rng: &mut impl Rng) -> Tensor {
+    // cast: fan-in is a small layer dim, exactly representable in f32.
     let std = (2.0 / fan_in as f32).sqrt();
     Tensor::randn(shape, std, rng)
 }

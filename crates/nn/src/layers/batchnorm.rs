@@ -50,7 +50,7 @@ impl Layer for BatchNorm1d {
                 }
             }
             for m in &mut mean {
-                *m /= batch as f32;
+                *m /= batch as f32; // cast: batch size is small, exact in f32
             }
             for row in xd.chunks(f) {
                 for ((vv, &v), &m) in var.iter_mut().zip(row).zip(&mean) {
@@ -58,7 +58,7 @@ impl Layer for BatchNorm1d {
                 }
             }
             for v in &mut var {
-                *v /= batch as f32;
+                *v /= batch as f32; // cast: batch size is small, exact in f32
             }
             for j in 0..f {
                 self.running_mean[j] =
@@ -112,7 +112,7 @@ impl Layer for BatchNorm1d {
         }
 
         // dX via the standard batch-norm backward.
-        let n = batch as f32;
+        let n = batch as f32; // cast: batch size is small, exact in f32
         let mut dx = vec![0.0f32; batch * f];
         for j in 0..f {
             let k = gamma[j] * self.cache_inv_std[j] / n;
@@ -138,6 +138,12 @@ impl Layer for BatchNorm1d {
 
     fn name(&self) -> String {
         format!("BatchNorm1d({})", self.features)
+    }
+
+    fn spec(&self) -> crate::layers::LayerSpec {
+        crate::layers::LayerSpec::BatchNorm1d {
+            features: self.features,
+        }
     }
 }
 

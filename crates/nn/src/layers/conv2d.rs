@@ -62,6 +62,11 @@ impl Layer for Conv2D {
         let xin = x.data();
         let wv = self.w.value.data();
         let bv = self.b.value.data();
+        debug_assert_eq!(xin.len(), batch * c * h * w, "Conv2D input data/shape mismatch");
+        debug_assert_eq!(wv.len(), f * c * k * k, "Conv2D weight data/shape mismatch");
+        debug_assert_eq!(bv.len(), f, "Conv2D bias data/shape mismatch");
+        crate::tensor::debug_check_finite("Conv2D input", xin);
+        crate::tensor::debug_check_finite("Conv2D weights", wv);
 
         out.par_chunks_mut(f * oh * ow).enumerate().for_each(|(bi, ob)| {
             let xb = &xin[bi * c * h * w..(bi + 1) * c * h * w];
@@ -181,6 +186,15 @@ impl Layer for Conv2D {
             "Conv2D({}→{}, {}x{}/{})",
             self.in_ch, self.filters, self.k, self.k, self.stride
         )
+    }
+
+    fn spec(&self) -> crate::layers::LayerSpec {
+        crate::layers::LayerSpec::Conv2D {
+            in_channels: self.in_ch,
+            filters: self.filters,
+            kernel: self.k,
+            stride: self.stride,
+        }
     }
 }
 

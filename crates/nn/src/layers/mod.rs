@@ -29,6 +29,7 @@ pub use pool::MaxPool2D;
 pub use timedistributed::TimeDistributed;
 
 use crate::tensor::Tensor;
+pub use autolearn_analyze::graph::LayerSpec;
 use serde::{Deserialize, Serialize};
 
 /// A trainable parameter: value plus gradient accumulator.
@@ -82,6 +83,10 @@ pub trait Layer: Send {
     fn param_count(&mut self) -> usize {
         self.params_mut().iter().map(|p| p.value.len()).sum()
     }
+
+    /// Symbolic description of this layer for the static graph validator
+    /// ([`autolearn_analyze::graph::validate_model`]).
+    fn spec(&self) -> LayerSpec;
 }
 
 /// Element-wise activation functions as a layer.
@@ -157,6 +162,12 @@ impl Layer for ActivationLayer {
 
     fn name(&self) -> String {
         format!("{:?}", self.kind)
+    }
+
+    fn spec(&self) -> LayerSpec {
+        LayerSpec::Activation {
+            kind: format!("{:?}", self.kind).to_lowercase(),
+        }
     }
 }
 

@@ -31,6 +31,7 @@ pub mod sequential;
 pub mod tensor;
 pub mod train;
 
+pub use autolearn_analyze::graph::{format_errors, validate_model, GraphError, GraphReport};
 pub use data::{Batch, Dataset};
 pub use layers::{Activation, Layer};
 pub use loss::Loss;

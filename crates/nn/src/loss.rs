@@ -26,7 +26,7 @@ impl Loss {
 }
 
 fn mse(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
-    let n = pred.len() as f32;
+    let n = pred.len() as f32; // cast: batch length, exact in f32
     let loss: f32 = pred
         .data()
         .iter()
@@ -57,7 +57,7 @@ pub fn softmax_rows(logits: &Tensor) -> Tensor {
 }
 
 fn softmax_ce(logits: &Tensor, target: &Tensor) -> (f32, Tensor) {
-    let batch = logits.dim0() as f32;
+    let batch = logits.dim0() as f32; // cast: batch length, exact in f32
     let probs = softmax_rows(logits);
     let mut loss = 0.0f32;
     for (p, t) in probs.data().iter().zip(target.data()) {
@@ -84,11 +84,13 @@ pub fn one_hot(indices: &[usize], classes: usize) -> Tensor {
 /// how KerasCategorical discretises steering/throttle.
 pub fn bin_value(v: f32, lo: f32, hi: f32, bins: usize) -> usize {
     let t = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
+    // cast: t in [0,1] so the product is a small non-negative index.
     ((t * bins as f32) as usize).min(bins - 1)
 }
 
 /// Midpoint of bin `i` — the inverse of [`bin_value`] used at inference.
 pub fn unbin_value(i: usize, lo: f32, hi: f32, bins: usize) -> f32 {
+    // cast: bin index / count are small, exact in f32.
     lo + (hi - lo) * (i as f32 + 0.5) / bins as f32
 }
 

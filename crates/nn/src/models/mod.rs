@@ -19,6 +19,7 @@ mod zoo;
 pub use zoo::{CarModel, SavedModel};
 
 use crate::data::{Batch, Dataset};
+pub use autolearn_analyze::graph::ModelSpec;
 use crate::optim::Optimizer;
 use crate::tensor::Tensor;
 use serde::{Deserialize, Serialize};
@@ -179,6 +180,13 @@ pub trait DonkeyModel: Send {
 
     /// Restore a snapshot from [`DonkeyModel::state_dict`].
     fn load_state(&mut self, state: &[Vec<f32>]);
+
+    /// Symbolic graph description for the static validator, if the model
+    /// can produce one. The trainer validates it before the first
+    /// optimisation step; `None` skips the pre-flight check.
+    fn graph_spec(&self) -> Option<ModelSpec> {
+        None
+    }
 }
 
 /// Transform a raw frame dataset into the layout `spec` requires.

@@ -10,6 +10,7 @@ use crate::loss::{bin_value, one_hot, softmax_rows, unbin_value, Loss};
 use crate::optim::Optimizer;
 use crate::sequential::Sequential;
 use crate::tensor::Tensor;
+use autolearn_analyze::graph::{LayerSpec, ModelSpec};
 use autolearn_util::rng::derive_rng;
 use serde::{Deserialize, Serialize};
 
@@ -196,6 +197,8 @@ impl CarModel {
                 let joined = concat_cols(&feat, hist);
                 merge.forward(&joined, train)
             }
+            // INVARIANT: prepare_dataset adds the history input for
+            // InputSpec::FramesWithHistory; only a caller bypassing it hits this.
             (Some(_), None) => panic!("Memory model requires a history input"),
             _ => feat,
         }
@@ -272,6 +275,221 @@ impl CarModel {
                 (ls + lt, Some((gs, gt)))
             }
         }
+    }
+
+    /// Symbolic architecture plan for `kind`/`cfg`, built without
+    /// allocating a single tensor. This is the zoo's declared expectation:
+    /// [`CarModel::graph_spec`] validates the *live* layers against the
+    /// plan's parameter totals, so an edit to [`CarModel::build`] that is
+    /// not mirrored here fails validation before training starts. Feed it
+    /// to [`autolearn_analyze::validate_model`] to vet a config (e.g. a
+    /// degenerate camera geometry) before paying for `build`.
+    pub fn plan(kind: ModelKind, cfg: &ModelConfig) -> ModelSpec {
+        let (c, h, w) = (cfg.channels, cfg.height, cfg.width);
+        let relu = || LayerSpec::Activation {
+            kind: "relu".to_string(),
+        };
+        let conv_stack = || {
+            vec![
+                LayerSpec::Conv2D {
+                    in_channels: c,
+                    filters: 8,
+                    kernel: 5,
+                    stride: 2,
+                },
+                relu(),
+                LayerSpec::Conv2D {
+                    in_channels: 8,
+                    filters: 16,
+                    kernel: 3,
+                    stride: 2,
+                },
+                relu(),
+                LayerSpec::Conv2D {
+                    in_channels: 16,
+                    filters: 32,
+                    kernel: 3,
+                    stride: 2,
+                },
+                relu(),
+                LayerSpec::Flatten,
+            ]
+        };
+        // Symbolic flat-dim: 0 when the geometry is degenerate, so the
+        // validator reports the conv error instead of this panicking.
+        let flat_after = |layers: &[LayerSpec], input: &[usize]| -> usize {
+            LayerSpec::Chain(layers.to_vec())
+                .output_shape(input)
+                .map(|s| s[1])
+                .unwrap_or(0)
+        };
+
+        let mut aux_width = None;
+        let mut merge = Vec::new();
+        let (input, layers, feat) = match kind {
+            ModelKind::Linear | ModelKind::Categorical | ModelKind::Inferred => {
+                let input = vec![1, c, h, w];
+                let mut layers = conv_stack();
+                let flat = flat_after(&layers, &input);
+                layers.push(LayerSpec::Dense {
+                    input: flat,
+                    output: 64,
+                });
+                layers.push(relu());
+                layers.push(LayerSpec::Dropout {
+                    rate: cfg.dropout as f64,
+                });
+                (input, layers, 64)
+            }
+            ModelKind::Memory => {
+                let input = vec![1, c, h, w];
+                let mut layers = conv_stack();
+                let flat = flat_after(&layers, &input);
+                layers.push(LayerSpec::Dense {
+                    input: flat,
+                    output: 64,
+                });
+                layers.push(relu());
+                aux_width = Some(2 * cfg.history);
+                merge = vec![
+                    LayerSpec::Dense {
+                        input: 64 + 2 * cfg.history,
+                        output: 64,
+                    },
+                    relu(),
+                    LayerSpec::Dropout {
+                        rate: cfg.dropout as f64,
+                    },
+                ];
+                (input, layers, 64)
+            }
+            ModelKind::Rnn => {
+                let input = vec![1, cfg.seq_len, c, h, w];
+                let mut inner = conv_stack();
+                let flat = flat_after(&inner, &[1, c, h, w]);
+                inner.push(LayerSpec::Dense {
+                    input: flat,
+                    output: 64,
+                });
+                inner.push(relu());
+                let layers = vec![
+                    LayerSpec::TimeDistributed {
+                        inner: Box::new(LayerSpec::Chain(inner)),
+                    },
+                    LayerSpec::Lstm {
+                        input: 64,
+                        hidden: 32,
+                    },
+                ];
+                (input, layers, 32)
+            }
+            ModelKind::ThreeD => {
+                let input = vec![1, c, cfg.seq_len, h, w];
+                let mut layers = vec![
+                    LayerSpec::Conv3D {
+                        in_channels: c,
+                        filters: 8,
+                        kernel_t: 2,
+                        kernel: 5,
+                        stride_t: 1,
+                        stride: 2,
+                    },
+                    relu(),
+                    LayerSpec::Conv3D {
+                        in_channels: 8,
+                        filters: 16,
+                        kernel_t: 2,
+                        kernel: 3,
+                        stride_t: 1,
+                        stride: 2,
+                    },
+                    relu(),
+                    LayerSpec::Flatten,
+                ];
+                let flat = flat_after(&layers, &input);
+                layers.push(LayerSpec::Dense {
+                    input: flat,
+                    output: 64,
+                });
+                layers.push(relu());
+                (input, layers, 64)
+            }
+        };
+
+        let tanh = || LayerSpec::Activation {
+            kind: "tanh".to_string(),
+        };
+        let heads = match kind {
+            ModelKind::Categorical => vec![
+                (
+                    "steering".to_string(),
+                    vec![LayerSpec::Dense {
+                        input: feat,
+                        output: cfg.steering_bins,
+                    }],
+                ),
+                (
+                    "throttle".to_string(),
+                    vec![LayerSpec::Dense {
+                        input: feat,
+                        output: cfg.throttle_bins,
+                    }],
+                ),
+            ],
+            ModelKind::Inferred => vec![(
+                "steering".to_string(),
+                vec![
+                    LayerSpec::Dense {
+                        input: feat,
+                        output: 1,
+                    },
+                    tanh(),
+                ],
+            )],
+            _ => vec![
+                (
+                    "steering".to_string(),
+                    vec![
+                        LayerSpec::Dense {
+                            input: feat,
+                            output: 1,
+                        },
+                        tanh(),
+                    ],
+                ),
+                (
+                    "throttle".to_string(),
+                    vec![
+                        LayerSpec::Dense {
+                            input: feat,
+                            output: 1,
+                        },
+                        LayerSpec::Activation {
+                            kind: "sigmoid".to_string(),
+                        },
+                    ],
+                ),
+            ],
+        };
+
+        ModelSpec {
+            name: kind.name().to_string(),
+            input,
+            layers,
+            aux_width,
+            merge,
+            heads,
+            declared_params: None,
+            declared_feature_dim: Some(feat),
+        }
+    }
+}
+
+/// Unwrap a `Sequential`'s spec into its layer list.
+fn chain_layers(s: &Sequential) -> Vec<LayerSpec> {
+    match s.spec() {
+        LayerSpec::Chain(layers) => layers,
+        other => vec![other],
     }
 }
 
@@ -404,6 +622,27 @@ impl DonkeyModel for CarModel {
             assert_eq!(p.value.len(), s.len(), "state dict shape mismatch");
             p.value.data_mut().copy_from_slice(s);
         }
+    }
+
+    fn graph_spec(&self) -> Option<ModelSpec> {
+        // The live layers are the spec under test; the static plan is the
+        // declared expectation. Parameter drift between them means build()
+        // and plan() have diverged.
+        let declared = CarModel::plan(self.kind, &self.cfg).total_params();
+        let mut heads = vec![("steering".to_string(), chain_layers(&self.head_s))];
+        if let Some(t) = &self.head_t {
+            heads.push(("throttle".to_string(), chain_layers(t)));
+        }
+        Some(ModelSpec {
+            name: self.kind.name().to_string(),
+            input: self.image_input_shape(1),
+            layers: chain_layers(&self.trunk),
+            aux_width: self.merge.as_ref().map(|_| 2 * self.cfg.history),
+            merge: self.merge.as_ref().map(chain_layers).unwrap_or_default(),
+            heads,
+            declared_params: Some(declared),
+            declared_feature_dim: Some(self.feat_dim),
+        })
     }
 }
 
@@ -660,6 +899,84 @@ mod tests {
         let (ga, gb) = split_cols(&j, 2);
         assert_eq!(ga.data(), a.data());
         assert_eq!(gb.data(), b.data());
+    }
+
+    #[test]
+    fn every_kind_plans_a_valid_graph() {
+        // The static plan for each zoo kind must survive symbolic shape
+        // propagation, and its parameter arithmetic must agree with the
+        // live model built from the same config — so any drift between
+        // `plan` and `build` is caught here, not at a student's train step.
+        let cfg = small_cfg();
+        for kind in ModelKind::all() {
+            let spec = CarModel::plan(kind, &cfg);
+            let report = autolearn_analyze::validate_model(&spec)
+                .unwrap_or_else(|e| panic!("{kind:?}: {e:?}"));
+            let mut live = CarModel::build(kind, &cfg);
+            assert_eq!(
+                report.total_params,
+                live.param_count() as u64,
+                "{kind:?}: plan params != live params"
+            );
+        }
+    }
+
+    #[test]
+    fn live_graph_spec_matches_plan() {
+        // graph_spec() describes the *built* layers; validating it must
+        // succeed and agree with the plan's feature dim for each kind.
+        let cfg = small_cfg();
+        for kind in ModelKind::all() {
+            let model = CarModel::build(kind, &cfg);
+            let spec = model.graph_spec().expect("zoo models publish a spec");
+            let report = autolearn_analyze::validate_model(&spec)
+                .unwrap_or_else(|e| panic!("{kind:?}: {e:?}"));
+            let planned = CarModel::plan(kind, &cfg);
+            assert_eq!(
+                Some(report.feature_dim),
+                planned.declared_feature_dim,
+                "{kind:?}: live feature dim != planned"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_geometry_is_rejected_before_training() {
+        // A 4x4 camera cannot survive three 5x5/3x3 convolutions: the plan
+        // must be rejected statically, with no tensor ever allocated.
+        let cfg = ModelConfig {
+            height: 4,
+            width: 4,
+            ..small_cfg()
+        };
+        let errs = autolearn_analyze::validate_model(&CarModel::plan(ModelKind::Linear, &cfg))
+            .expect_err("degenerate geometry must not validate");
+        assert!(!errs.is_empty());
+    }
+
+    #[test]
+    fn trainer_rejects_shape_broken_model_before_any_step() {
+        use crate::train::{TrainConfig, Trainer};
+
+        // Build a live model, then sabotage its config so graph_spec()
+        // reports an input the trunk cannot process. fit() must refuse
+        // before running a single weight update.
+        let cfg = small_cfg();
+        let mut model = CarModel::build(ModelKind::Linear, &cfg);
+        model.cfg.height = 4;
+        model.cfg.width = 4;
+        let raw = synthetic_dataset(8, &cfg);
+        let data = prepare_dataset(&raw, crate::models::InputSpec::Frames);
+        let before = model.param_count();
+        let errs = Trainer::new(TrainConfig {
+            epochs: 1,
+            batch_size: 4,
+            ..Default::default()
+        })
+        .fit(&mut model, &data)
+        .expect_err("shape-broken model must be rejected");
+        assert!(!errs.is_empty());
+        assert_eq!(model.param_count(), before, "no weights touched");
     }
 
     #[test]

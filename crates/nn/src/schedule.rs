@@ -54,6 +54,7 @@ impl LrScheduler {
                 let t = if total <= 1 {
                     0.0
                 } else {
+                    // cast: epoch counters are small, exact in f32.
                     epoch as f32 / (total - 1) as f32
                 };
                 let cos = 0.5 * (1.0 + (std::f32::consts::PI * t).cos());

@@ -96,6 +96,10 @@ impl Layer for Sequential {
     fn name(&self) -> String {
         format!("Sequential[{}]", self.layers.len())
     }
+
+    fn spec(&self) -> crate::layers::LayerSpec {
+        crate::layers::LayerSpec::Chain(self.layers.iter().map(|l| l.spec()).collect())
+    }
 }
 
 #[cfg(test)]

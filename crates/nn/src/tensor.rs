@@ -221,6 +221,7 @@ impl Tensor {
         if self.data.is_empty() {
             0.0
         } else {
+            // cast: element count may round in f32; fine for a mean.
             self.sum() / self.data.len() as f32
         }
     }
@@ -246,6 +247,11 @@ impl Tensor {
         let (m, k) = (self.shape[0], self.shape[1]);
         let (k2, n) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "inner dimensions {k} vs {k2}");
+
+        debug_assert_eq!(self.data.len(), m * k, "matmul lhs data/shape mismatch");
+        debug_assert_eq!(other.data.len(), k * n, "matmul rhs data/shape mismatch");
+        debug_check_finite("matmul lhs", &self.data);
+        debug_check_finite("matmul rhs", &other.data);
 
         let mut out = vec![0.0f32; m * n];
         let lhs = &self.data;
@@ -290,6 +296,20 @@ impl Tensor {
     /// L2 norm of all elements.
     pub fn norm(&self) -> f32 {
         self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+}
+
+/// Debug-build guard used by the hot kernels (matmul, conv loops): checks a
+/// bounded prefix of `data` for NaN/inf so exploding gradients surface at
+/// the kernel that produced them instead of as a silent bad loss. Bounded at
+/// 256 elements to keep debug test runs fast; compiled out in release.
+pub(crate) fn debug_check_finite(kernel: &str, data: &[f32]) {
+    if cfg!(debug_assertions) {
+        let n = data.len().min(256);
+        if let Some((i, v)) = data[..n].iter().enumerate().find(|(_, v)| !v.is_finite()) {
+            // INVARIANT: debug-only numeric guard; release builds skip it.
+            panic!("{kernel}: non-finite value {v} at element {i}");
+        }
     }
 }
 

@@ -8,6 +8,7 @@ use crate::data::Dataset;
 use crate::models::DonkeyModel;
 use crate::optim::{Adam, Optimizer};
 use crate::schedule::{LrSchedule, LrScheduler};
+use autolearn_analyze::graph::{validate_model, GraphError};
 use serde::{Deserialize, Serialize};
 
 /// Training hyper-parameters.
@@ -73,8 +74,14 @@ impl Trainer {
 
     /// Fit `model` on `data` (already transformed to the model's input
     /// spec). Returns the training report; the model is left with the
-    /// final-epoch weights.
-    pub fn fit(&self, model: &mut dyn DonkeyModel, data: &Dataset) -> TrainReport {
+    /// final-epoch weights. If the model publishes a graph spec (via
+    /// [`DonkeyModel::graph_spec`]) it is statically validated first and
+    /// a broken graph is rejected before any weight update happens.
+    pub fn fit(
+        &self,
+        model: &mut dyn DonkeyModel,
+        data: &Dataset,
+    ) -> Result<TrainReport, Vec<GraphError>> {
         assert!(data.len() >= 2, "dataset too small to split");
         let cfg = &self.config;
         let (train, val) = data.split(cfg.train_frac, cfg.seed);
@@ -83,14 +90,18 @@ impl Trainer {
     }
 
     /// Fit with explicit train/val sets and optimizer (used by experiments
-    /// that sweep optimizers or need fixed splits).
+    /// that sweep optimizers or need fixed splits). Performs the same
+    /// pre-flight graph validation as [`Trainer::fit`].
     pub fn fit_with(
         &self,
         model: &mut dyn DonkeyModel,
         train: &Dataset,
         val: &Dataset,
         opt: &mut dyn Optimizer,
-    ) -> TrainReport {
+    ) -> Result<TrainReport, Vec<GraphError>> {
+        if let Some(spec) = model.graph_spec() {
+            validate_model(&spec)?;
+        }
         let cfg = &self.config;
         let mut history = Vec::new();
         let mut best_val = f32::INFINITY;
@@ -110,7 +121,7 @@ impl Trainer {
                 examples_seen += batch.len() as u64;
                 batches += 1;
             }
-            train_loss /= batches.max(1) as f32;
+            train_loss /= batches.max(1) as f32; // cast: batch count, exact in f32
 
             let val_loss = evaluate(model, val, cfg.batch_size);
             last_val = val_loss;
@@ -135,14 +146,14 @@ impl Trainer {
             }
         }
 
-        TrainReport {
+        Ok(TrainReport {
             epochs_ran: history.len(),
             history,
             best_val_loss: best_val,
             best_epoch,
             stopped_early,
             examples_seen,
-        }
+        })
     }
 }
 
@@ -153,7 +164,7 @@ pub fn evaluate(model: &mut dyn DonkeyModel, data: &Dataset, batch_size: usize) 
     }
     let batches = data.batches(batch_size, false, 0);
     let total: f32 = batches.iter().map(|b| model.eval_batch(b)).sum();
-    total / batches.len() as f32
+    total / batches.len() as f32 // cast: batch count, exact in f32
 }
 
 #[cfg(test)]
@@ -202,7 +213,7 @@ mod tests {
             batch_size: 16,
             ..Default::default()
         });
-        let report = trainer.fit(&mut model, &data);
+        let report = trainer.fit(&mut model, &data).expect("graph validates");
         assert_eq!(report.history.len(), report.epochs_ran);
         let first = report.history.first().unwrap().val_loss;
         assert!(report.best_val_loss < first);
@@ -221,7 +232,7 @@ mod tests {
             learning_rate: 0.5, // absurd LR forces divergence quickly
             ..Default::default()
         });
-        let report = trainer.fit(&mut model, &data);
+        let report = trainer.fit(&mut model, &data).expect("graph validates");
         assert!(report.stopped_early);
         assert!(report.epochs_ran < 50);
     }
@@ -236,7 +247,7 @@ mod tests {
             patience: None,
             ..Default::default()
         });
-        let report = trainer.fit(&mut model, &data);
+        let report = trainer.fit(&mut model, &data).expect("graph validates");
         assert_eq!(report.epochs_ran, 3);
         assert!(!report.stopped_early);
     }
@@ -260,7 +271,7 @@ mod tests {
             patience: None,
             ..Default::default()
         });
-        let report = trainer.fit(&mut model, &data);
+        let report = trainer.fit(&mut model, &data).expect("graph validates");
         let first = report.history.first().unwrap().val_loss;
         assert!(report.best_val_loss <= first);
     }
@@ -300,7 +311,7 @@ mod tests {
             patience: None,
             ..Default::default()
         });
-        let report = trainer.fit(&mut model, &data);
+        let report = trainer.fit(&mut model, &data).expect("graph validates");
         let min_epoch = report
             .history
             .iter()

@@ -101,12 +101,12 @@ impl Track {
         let half_width: Vec<f64> = center
             .iter()
             .map(|c| {
-                let (i, _) = pts
+                let i = pts
                     .iter()
                     .enumerate()
                     .map(|(i, p)| (i, p.dist_sq(*c)))
-                    .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-                    .unwrap();
+                    .min_by(|a, b| a.1.total_cmp(&b.1))
+                    .map_or(0, |(i, _)| i);
                 wds[i] / 2.0
             })
             .collect();

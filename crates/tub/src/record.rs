@@ -48,9 +48,11 @@ impl Record {
         }
     }
 
-    /// The catalog line for this record (image stored separately).
-    pub fn to_catalog_line(&self) -> String {
-        serde_json::to_string(self).expect("record serialises")
+    /// The catalog line for this record (image stored separately). Fails
+    /// only if serde rejects the record, which a writer should surface as
+    /// tub corruption rather than abort on.
+    pub fn to_catalog_line(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
     }
 
     pub fn from_catalog_line(line: &str) -> Result<Record, serde_json::Error> {
@@ -77,7 +79,7 @@ mod tests {
     fn catalog_line_roundtrip_excludes_image() {
         let mut r = Record::new(7, 0.25, 0.5, 123, img());
         r.off_track = true;
-        let line = r.to_catalog_line();
+        let line = r.to_catalog_line().unwrap();
         assert!(!line.contains("\"image\""));
         let back = Record::from_catalog_line(&line).unwrap();
         assert_eq!(back.id, 7);
@@ -89,7 +91,7 @@ mod tests {
     #[test]
     fn catalog_line_is_single_line_json() {
         let r = Record::new(1, 0.0, 0.3, 10, img());
-        let line = r.to_catalog_line();
+        let line = r.to_catalog_line().unwrap();
         assert!(!line.contains('\n'));
         assert!(line.starts_with('{') && line.ends_with('}'));
     }

@@ -158,12 +158,15 @@ impl Tub {
             });
             self.current_count = 0;
         }
-        let entry = self.catalogs.last_mut().expect("catalog exists");
+        let entry = match self.catalogs.last_mut() {
+            Some(entry) => entry,
+            None => return Err(TubError::Corrupt("no catalog after rotation".into())),
+        };
         let mut f = fs::OpenOptions::new()
             .create(true)
             .append(true)
             .open(self.dir.join(&entry.path))?;
-        writeln!(f, "{}", record.to_catalog_line())?;
+        writeln!(f, "{}", record.to_catalog_line()?)?;
         entry.record_count += 1;
         self.current_count += 1;
 
@@ -247,9 +250,16 @@ fn read_image(path: &Path) -> Result<Image, TubError> {
     if buf.len() < 12 {
         return Err(TubError::Corrupt(format!("{} truncated", path.display())));
     }
-    let w = u32::from_le_bytes(buf[0..4].try_into().unwrap()) as usize;
-    let h = u32::from_le_bytes(buf[4..8].try_into().unwrap()) as usize;
-    let c = u32::from_le_bytes(buf[8..12].try_into().unwrap()) as usize;
+    let header_field = |i: usize| -> Result<usize, TubError> {
+        let bytes = buf
+            .get(i * 4..i * 4 + 4)
+            .and_then(|s| <[u8; 4]>::try_from(s).ok())
+            .ok_or_else(|| TubError::Corrupt(format!("{} header truncated", path.display())))?;
+        Ok(u32::from_le_bytes(bytes) as usize)
+    };
+    let w = header_field(0)?;
+    let h = header_field(1)?;
+    let c = header_field(2)?;
     if buf.len() != 12 + w * h * c {
         return Err(TubError::Corrupt(format!(
             "{}: expected {} pixel bytes, found {}",

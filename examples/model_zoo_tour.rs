@@ -51,7 +51,8 @@ fn main() {
             seed: 5,
             ..Default::default()
         })
-        .fit(&mut model, &data);
+        .fit(&mut model, &data)
+        .expect("zoo graph validates");
 
         let params = model.param_count();
         let kflops = model.flops_per_inference() / 1000;

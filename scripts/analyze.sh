@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Static-analysis gate: workspace lint scan + the analyzer's own tests.
+# Exits non-zero on any active (non-allowlisted) finding or test failure.
+#
+#   scripts/analyze.sh            human report
+#   scripts/analyze.sh --json     machine-readable report
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+status=0
+
+echo "== autolearn-analyze: workspace lint =="
+cargo run -q -p autolearn-analyze -- --workspace "$@" || status=$?
+
+echo
+echo "== autolearn-analyze: unit + property tests =="
+cargo test -q -p autolearn-analyze || status=$?
+
+exit "$status"

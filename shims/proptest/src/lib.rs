@@ -1,0 +1,274 @@
+//! Offline shim for `proptest`.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`proptest!`] macro (with `#![proptest_config(...)]`), range and tuple
+//! strategies, `prop::collection::vec`, `prop::sample::select`, and the
+//! `prop_assert*` macros. Differences from real proptest:
+//!
+//! * cases are generated from a fixed seed (deterministic run-to-run) with
+//!   no persisted failure file,
+//! * failures panic immediately with the case number — there is **no
+//!   shrinking**, so the reported counterexample is the raw generated one.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates values of `Self::Value` from an RNG.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_strategy_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_strategy_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_strategy_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_strategy_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Lengths acceptable to [`prop::collection::vec`]: a fixed size or a range.
+pub trait VecLen {
+    fn pick(&self, rng: &mut StdRng) -> usize;
+}
+
+impl VecLen for usize {
+    fn pick(&self, _rng: &mut StdRng) -> usize {
+        *self
+    }
+}
+
+impl VecLen for core::ops::Range<usize> {
+    fn pick(&self, rng: &mut StdRng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl VecLen for core::ops::RangeInclusive<usize> {
+    fn pick(&self, rng: &mut StdRng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+pub mod strategy {
+    pub use super::Strategy;
+
+    /// Strategy for `Vec<T>` with element strategy `S` and length spec `L`.
+    pub struct VecStrategy<S, L> {
+        pub(crate) element: S,
+        pub(crate) len: L,
+    }
+
+    impl<S: Strategy, L: super::VecLen> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut super::StdRng) -> Self::Value {
+            let n = self.len.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy choosing uniformly from a fixed set of options.
+    pub struct Select<T> {
+        pub(crate) options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut super::StdRng) -> T {
+            use rand::seq::SliceRandom;
+            self.options
+                .choose(rng)
+                .expect("prop::sample::select requires at least one option")
+                .clone()
+        }
+    }
+}
+
+pub mod prop {
+    pub mod collection {
+        /// `vec(element_strategy, len_or_range)`.
+        pub fn vec<S: crate::Strategy, L: crate::VecLen>(
+            element: S,
+            len: L,
+        ) -> crate::strategy::VecStrategy<S, L> {
+            crate::strategy::VecStrategy { element, len }
+        }
+    }
+
+    pub mod sample {
+        /// `select(options)`: uniform choice from a non-empty vector.
+        pub fn select<T: Clone>(options: Vec<T>) -> crate::strategy::Select<T> {
+            assert!(!options.is_empty(), "select requires options");
+            crate::strategy::Select { options }
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Runner configuration; only `cases` is meaningful here.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 64 }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[doc(hidden)]
+pub fn __case_rng(test_name: &str, case: u32) -> StdRng {
+    // Decorrelate per-test streams the same way util::rng::derive_seed does.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    StdRng::seed_from_u64(h ^ (u64::from(case) << 32) ^ u64::from(case))
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::__case_rng(stringify!($name), __case);
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)*
+                $body
+            }
+        }
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Range strategies stay in bounds.
+        #[test]
+        fn ranges_in_bounds(a in 0u64..100, f in -1.0f32..=1.0) {
+            prop_assert!(a < 100);
+            prop_assert!((-1.0..=1.0).contains(&f));
+        }
+
+        /// Vec + tuple strategies compose; lengths respect the range.
+        #[test]
+        fn vec_of_tuples(v in prop::collection::vec((0u8..10, 0.0f64..1.0), 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            for (b, f) in v {
+                prop_assert!(b < 10);
+                prop_assert!((0.0..1.0).contains(&f));
+            }
+        }
+
+        /// select() only yields listed options.
+        #[test]
+        fn select_yields_options(c in prop::sample::select(vec![1usize, 3])) {
+            prop_assert!(c == 1 || c == 3);
+        }
+    }
+
+    proptest! {
+        /// Default config path (no proptest_config line) also compiles.
+        #[test]
+        fn default_config_runs(x in 0u32..10) {
+            prop_assert!(x < 10);
+        }
+    }
+}

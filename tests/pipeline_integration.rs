@@ -84,7 +84,8 @@ fn collect_store_clean_train_evaluate_via_disk() {
         seed: 31,
         ..Default::default()
     })
-    .fit(&mut model, &data);
+    .fit(&mut model, &data)
+    .expect("zoo graph validates");
     assert!(report.best_val_loss.is_finite());
 
     // 6. The model drives the (clean) car.
@@ -126,7 +127,8 @@ fn saved_model_survives_objectstore_roundtrip() {
         seed: 33,
         ..Default::default()
     })
-    .fit(&mut model, &data);
+    .fit(&mut model, &data)
+    .expect("zoo graph validates");
 
     // PUT the trained model into the object store as JSON (what the module
     // stores as "pre-trained models", §3.5)...
@@ -172,6 +174,7 @@ fn sequence_model_trains_through_full_path() {
         seed: 35,
         ..Default::default()
     })
-    .fit(&mut model, &data);
+    .fit(&mut model, &data)
+    .expect("zoo graph validates");
     assert!(report.best_val_loss.is_finite());
 }
