@@ -54,6 +54,7 @@ pub fn builtin_rules() -> Vec<Box<dyn Rule>> {
         Box::new(PubItemNeedsDoc),
         Box::new(NoSleepInHotPath),
         Box::new(FloatCastTruncation),
+        Box::new(NoUnboundedRetry),
     ]
 }
 
@@ -340,6 +341,103 @@ impl Rule for FloatCastTruncation {
     }
 }
 
+/// A bare `loop` that drives retries or backoff must be bounded: its body
+/// has to consult an attempt cap or a deadline, or the retry storm never
+/// ends when the fault never clears.
+pub struct NoUnboundedRetry;
+
+const RETRY_TOKENS: &[&str] = &["retry", "backoff"];
+const CAP_TOKENS: &[&str] = &["max_attempts", "deadline", ".allows("];
+
+impl Rule for NoUnboundedRetry {
+    fn id(&self) -> &'static str {
+        "no-unbounded-retry"
+    }
+
+    fn description(&self) -> &'static str {
+        "`loop` bodies doing retry/backoff must check an attempt cap or deadline"
+    }
+
+    fn applies_to(&self, file: &SourceFile) -> bool {
+        !file.is_bin
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for (i, code) in file.code.iter().enumerate() {
+            if file.in_test[i] || !contains_keyword(code, "loop") {
+                continue;
+            }
+            let Some(end) = block_end(file, i) else {
+                continue;
+            };
+            let body = file.code[i..=end].join("\n").to_lowercase();
+            let retries = RETRY_TOKENS.iter().any(|t| body.contains(t));
+            let bounded = CAP_TOKENS.iter().any(|t| body.contains(t));
+            if retries && !bounded {
+                out.push(finding(
+                    self.id(),
+                    file,
+                    i,
+                    "retry/backoff inside a `loop` with no attempt cap or deadline check"
+                        .to_string(),
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Whether `code` contains `keyword` as a standalone word (not part of an
+/// identifier like `driveloop` or `loop_count`).
+fn contains_keyword(code: &str, keyword: &str) -> bool {
+    let mut search = code;
+    let mut consumed = 0usize;
+    while let Some(pos) = search.find(keyword) {
+        let before_ok = code[..consumed + pos]
+            .chars()
+            .next_back()
+            .map(|c| !c.is_alphanumeric() && c != '_')
+            .unwrap_or(true);
+        let after = &search[pos + keyword.len()..];
+        let after_ok = after
+            .chars()
+            .next()
+            .map(|c| !c.is_alphanumeric() && c != '_')
+            .unwrap_or(true);
+        if before_ok && after_ok {
+            return true;
+        }
+        consumed += pos + keyword.len();
+        search = after;
+    }
+    false
+}
+
+/// Line index where the brace block opened on `start` closes, by brace
+/// counting over the comment-stripped code view. `None` for an unclosed
+/// block (malformed source).
+fn block_end(file: &SourceFile, start: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut opened = false;
+    for (i, code) in file.code.iter().enumerate().skip(start) {
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    opened = true;
+                }
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if opened && depth <= 0 {
+            return Some(i);
+        }
+    }
+    None
+}
+
 /// Match ` as usize` / ` as f32` as a cast, not as part of an identifier
 /// (the needle's leading space plus a following non-ident char).
 fn contains_token_cast(code: &str, needle: &str) -> bool {
@@ -411,6 +509,40 @@ mod tests {
         assert_eq!(NoSleepInHotPath.check(&hot).len(), 1);
         let cold = file("crates/cloud/src/lib.rs", src);
         assert!(!NoSleepInHotPath.applies_to(&cold));
+    }
+
+    #[test]
+    fn unbounded_retry_loop_fires() {
+        let bad = "fn f() {\n    loop {\n        if try_once().is_ok() { break; }\n        charge(policy.backoff(n, seed));\n    }\n}\n";
+        let found = NoUnboundedRetry.check(&file("crates/x/src/a.rs", bad));
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].line, 2);
+    }
+
+    #[test]
+    fn capped_retry_loop_passes() {
+        for cap in ["if !policy.allows(n, elapsed) { return Err(e); }",
+                    "if n > max_attempts { break; }",
+                    "if elapsed > deadline { break; }"] {
+            let src = format!(
+                "fn f() {{\n    loop {{\n        {cap}\n        charge(policy.backoff(n, seed));\n    }}\n}}\n"
+            );
+            let found = NoUnboundedRetry.check(&file("crates/x/src/a.rs", &src));
+            assert!(found.is_empty(), "cap `{cap}` still fired: {found:?}");
+        }
+    }
+
+    #[test]
+    fn retry_rule_ignores_identifiers_and_nonretry_loops() {
+        // `driveloop` is an identifier, not the keyword.
+        let ident = "fn f() { let driveloop = retry_count; }\n";
+        assert!(NoUnboundedRetry.check(&file("crates/x/src/a.rs", ident)).is_empty());
+        // A loop with no retry semantics is out of scope.
+        let plain = "fn f() {\n    loop {\n        if done() { break; }\n    }\n}\n";
+        assert!(NoUnboundedRetry.check(&file("crates/x/src/a.rs", plain)).is_empty());
+        // Bins are exempt, like the other abort-class rules.
+        let bin = file("crates/x/src/bin/tool.rs", "fn main() {}");
+        assert!(!NoUnboundedRetry.applies_to(&bin));
     }
 
     #[test]

@@ -35,7 +35,9 @@ fn main() {
     let mut config = PipelineConfig::lesson_default(42);
     config.collection.duration_s = 120.0;
     config.train.epochs = 10;
-    let report = Pipeline::new(paper_oval(), config).run();
+    let report = Pipeline::new(paper_oval(), config)
+        .run()
+        .expect("fault-free lesson pipeline runs");
 
     let rows: Vec<Vec<String>> = report
         .stages

@@ -12,6 +12,7 @@
 //! analytic performance model attributes training/inference time, while the
 //! actual gradient math runs on the host (see DESIGN.md, substitutions).
 
+pub mod chaos;
 pub mod hardware;
 pub mod identity;
 pub mod objectstore;
@@ -19,6 +20,7 @@ pub mod perf;
 pub mod provision;
 pub mod reservation;
 
+pub use chaos::{launch_lease, LaunchError, LeaseLaunch, LAUNCH_OVERHEAD_S};
 pub use hardware::{ComputeDevice, GpuKind, NodeType, Site};
 pub use identity::{Allocation, IdentityService, Project, User};
 pub use objectstore::{ObjectStore, StoredObject};

@@ -287,6 +287,45 @@ mod tests {
     }
 
     #[test]
+    fn inverted_window_rejected() {
+        let mut rs = ReservationSystem::new(tiny_site());
+        assert_eq!(
+            rs.reserve("p", "gpu_v100", 1, t(100.0), t(50.0)),
+            Err(ReservationError::InvalidWindow)
+        );
+        // Nothing was recorded for the bad request.
+        assert!(rs.leases().is_empty());
+    }
+
+    #[test]
+    fn insufficient_capacity_reports_worst_case_free() {
+        // Capacity 2; A holds one node over the whole window, B another in
+        // the middle. The worst case anywhere in [0, 100) is zero free — the
+        // error must report that, not the 1 free at the window edges.
+        let mut rs = ReservationSystem::new(tiny_site());
+        rs.reserve("a", "gpu_v100", 1, t(0.0), t(100.0)).unwrap();
+        rs.reserve("b", "gpu_v100", 1, t(40.0), t(60.0)).unwrap();
+        let err = rs.reserve("c", "gpu_v100", 2, t(0.0), t(100.0)).unwrap_err();
+        assert_eq!(
+            err,
+            ReservationError::InsufficientCapacity {
+                free: 0,
+                requested: 2
+            }
+        );
+    }
+
+    #[test]
+    fn back_to_back_leases_do_not_stack_in_min_free() {
+        // A ends exactly where B starts; at t=100 only B holds a node, so the
+        // worst case over the combined span is capacity - 1, not capacity - 2.
+        let mut rs = ReservationSystem::new(tiny_site());
+        rs.reserve("a", "gpu_v100", 1, t(0.0), t(100.0)).unwrap();
+        rs.reserve("b", "gpu_v100", 1, t(100.0), t(200.0)).unwrap();
+        assert_eq!(rs.min_free("gpu_v100", t(0.0), t(200.0)), 1);
+    }
+
+    #[test]
     fn lifecycle_transitions() {
         let mut rs = ReservationSystem::new(tiny_site());
         let id = rs.reserve("p", "gpu_v100", 1, t(10.0), t(20.0)).unwrap();

@@ -8,7 +8,7 @@
 //! hub, executes its notebook cells (which is what Trovi's metrics count),
 //! and drives the actual pipeline those cells stand for.
 
-use crate::pipeline::{Pipeline, PipelineConfig, PipelineReport};
+use crate::pipeline::{Pipeline, PipelineConfig, PipelineError, PipelineReport};
 use autolearn_track::Track;
 use autolearn_trovi::{Artifact, TroviHub};
 use autolearn_util::SimTime;
@@ -28,14 +28,16 @@ pub struct LessonReport {
 /// Run the digital-pathway lesson for `user`: view + launch the AutoLearn
 /// artifact on `hub`, execute every code cell of its latest version, and
 /// run the pipeline the notebooks describe. Publishes the artifact first if
-/// the hub doesn't carry it yet.
+/// the hub doesn't carry it yet. A pipeline failure (rejected model,
+/// refused reservation) surfaces as a typed error instead of a crashed
+/// lesson.
 pub fn run_digital_lesson(
     hub: &mut TroviHub,
     user: &str,
     track: &Track,
     config: PipelineConfig,
     at: SimTime,
-) -> (LessonReport, PipelineReport) {
+) -> Result<(LessonReport, PipelineReport), PipelineError> {
     let slug = "autolearn-edge-to-cloud";
     if hub.get(slug).is_none() {
         hub.publish(Artifact::autolearn_example());
@@ -64,10 +66,10 @@ pub fn run_digital_lesson(
     }
 
     // The computation those cells stand for.
-    let pipeline_report = Pipeline::new(track.clone(), config).run();
+    let pipeline_report = Pipeline::new(track.clone(), config).run()?;
 
     let metrics = hub.events.metrics_for(slug);
-    (
+    Ok((
         LessonReport {
             cells_executed,
             eval_autonomy: pipeline_report.eval_autonomy,
@@ -76,7 +78,7 @@ pub fn run_digital_lesson(
             users_executed: metrics.users_executed,
         },
         pipeline_report,
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -100,7 +102,8 @@ mod tests {
         let mut hub = TroviHub::new();
         let track = circle_track(3.0, 0.8);
         let (lesson, pipeline) =
-            run_digital_lesson(&mut hub, "selflearner", &track, quick_config(), SimTime::ZERO);
+            run_digital_lesson(&mut hub, "selflearner", &track, quick_config(), SimTime::ZERO)
+                .expect("lesson pipeline succeeds");
 
         // Every *code* cell executed (markdown cells don't count — that is
         // Trovi's definition).
@@ -115,8 +118,10 @@ mod tests {
     fn two_students_roll_up_in_hub_metrics() {
         let mut hub = TroviHub::new();
         let track = circle_track(3.0, 0.8);
-        let (a, _) = run_digital_lesson(&mut hub, "alice", &track, quick_config(), SimTime::ZERO);
-        let (b, _) = run_digital_lesson(&mut hub, "bob", &track, quick_config(), SimTime::ZERO);
+        let (a, _) = run_digital_lesson(&mut hub, "alice", &track, quick_config(), SimTime::ZERO)
+            .expect("alice's lesson succeeds");
+        let (b, _) = run_digital_lesson(&mut hub, "bob", &track, quick_config(), SimTime::ZERO)
+            .expect("bob's lesson succeeds");
         assert_eq!(a.users_executed, 1);
         assert_eq!(b.users_executed, 2);
         assert_eq!(b.launch_clicks, 2);

@@ -46,7 +46,9 @@ pub use collect::{collect_session, sample_dataset, CollectConfig, CollectionPath
 pub use dataset::{mirror_augment, records_to_dataset, tub_bytes_estimate};
 pub use modelpilot::ModelPilot;
 pub use pathway::{competition_score, LearningPathway, ModuleStage};
-pub use pipeline::{Pipeline, PipelineConfig, PipelineReport, StageTiming};
+pub use pipeline::{
+    AttemptRecord, Pipeline, PipelineConfig, PipelineError, PipelineReport, RunLog, StageTiming,
+};
 pub use placement::{InferencePlacement, PlacementLatency};
 pub use remotepilot::{RemoteInferencePilot, RemoteStats};
 pub use twin::{twin_compare, TwinReport};

@@ -1,19 +1,31 @@
-//! The end-to-end AutoLearn pipeline (Fig. 1).
+//! The end-to-end AutoLearn pipeline (Fig. 1), fallible edition.
 //!
 //! One call runs what a student does over an afternoon: collect data on the
 //! car, clean it, reserve a Chameleon GPU node, deploy the CUDA image,
 //! rsync the tub up, train, store the model in the object store, pull it
 //! onto the car's container, and drive autonomous evaluation laps — with
 //! every stage's simulated wall-clock accounted.
+//!
+//! Every stage that touches the continuum is fallible: [`Pipeline::run`]
+//! consults a [`FaultPlan`] at each network transfer, lease launch and
+//! container start, retries failed attempts under a [`RetryPolicy`]
+//! (exponential backoff charged to simulated time), and degrades rather
+//! than dies where it can — falling back to a slower GPU when capacity is
+//! exhausted, re-sending only the rsync delta after a mid-transfer fault,
+//! resuming training from the last epoch boundary after a preemption.
+//! Completed stages are checkpointed and never re-run; every attempt and
+//! every injected fault lands in the report's [`RunLog`].
 
 use crate::collect::{collect_session, CollectConfig, CollectionPath};
 use crate::dataset::{records_to_dataset, tub_bytes_estimate};
 use crate::modelpilot::ModelPilot;
+use autolearn_cloud::chaos::{launch_lease, LaunchError, LAUNCH_OVERHEAD_S};
 use autolearn_cloud::hardware::{ComputeDevice, GpuKind, Site};
 use autolearn_cloud::perf::{training_time, TrainingCostModel};
 use autolearn_cloud::provision::ProvisioningPlan;
-use autolearn_cloud::reservation::ReservationSystem;
-use autolearn_net::{transfer_time, Path, TransferSpec};
+use autolearn_cloud::reservation::{ReservationError, ReservationSystem};
+use autolearn_edge::container::{ContainerRuntime, ImageSpec};
+use autolearn_net::{transfer_time, Path, ResumableTransfer, TransferSpec};
 use autolearn_nn::models::{prepare_dataset, CarModel, DonkeyModel, ModelConfig, ModelKind};
 use autolearn_nn::{
     format_errors, validate_model, GraphError, GraphReport, TrainConfig, TrainReport, Trainer,
@@ -21,7 +33,8 @@ use autolearn_nn::{
 use autolearn_sim::{CarConfig, DriveConfig, Simulation};
 use autolearn_track::Track;
 use autolearn_tub::{CleanConfig, TubCleaner};
-use autolearn_util::{SimDuration, SimTime};
+use autolearn_util::fault::{FaultPlan, InjectedFault};
+use autolearn_util::{derive_seed, RetryPolicy, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// Pipeline configuration.
@@ -74,6 +87,98 @@ pub struct StageTiming {
     pub duration: SimDuration,
 }
 
+/// One attempt at a fallible stage, as recorded in the [`RunLog`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttemptRecord {
+    pub stage: String,
+    /// 1-based attempt number within the stage.
+    pub attempt: u32,
+    /// `"ok"`, or the failure description.
+    pub outcome: String,
+    /// Simulated time this attempt consumed (work + injected penalties).
+    pub charged: SimDuration,
+    /// Backoff charged after this attempt (zero on success or final try).
+    pub backoff: SimDuration,
+}
+
+/// The complete recovery history of one pipeline run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunLog {
+    /// Every attempt at every fallible stage, in execution order.
+    pub attempts: Vec<AttemptRecord>,
+    /// Every fault the plan injected, in injection order.
+    pub faults: Vec<InjectedFault>,
+    /// Stages that completed, in order — the checkpoint trail: a stage in
+    /// this list was never re-entered.
+    pub completed_stages: Vec<String>,
+    /// The GPU that actually trained the model (may differ from the
+    /// configured one after a capacity fallback).
+    pub gpu_used: String,
+}
+
+impl RunLog {
+    /// Attempts that failed (retries and terminal failures).
+    pub fn failed_attempts(&self) -> usize {
+        self.attempts.iter().filter(|a| a.outcome != "ok").count()
+    }
+}
+
+/// Why a pipeline run could not complete.
+#[derive(Debug, Clone)]
+pub enum PipelineError {
+    /// The model plan failed static validation; nothing ran.
+    ModelRejected(Vec<GraphError>),
+    /// The reservation system refused the request for a non-transient
+    /// reason (unknown node type, inverted window, genuine capacity).
+    Reservation(ReservationError),
+    /// A stage exhausted its retry budget.
+    StageFailed {
+        stage: String,
+        attempts: u32,
+        last_error: String,
+    },
+    /// A stage blew through its per-stage deadline.
+    DeadlineExceeded {
+        stage: String,
+        elapsed: SimDuration,
+        deadline: SimDuration,
+    },
+}
+
+impl PipelineError {
+    /// The stage the run died in, when the error is stage-scoped.
+    pub fn stage(&self) -> Option<&str> {
+        match self {
+            PipelineError::StageFailed { stage, .. }
+            | PipelineError::DeadlineExceeded { stage, .. } => Some(stage),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::ModelRejected(errs) => {
+                write!(f, "model plan rejected:\n{}", format_errors(errs))
+            }
+            PipelineError::Reservation(e) => write!(f, "reservation refused: {e}"),
+            PipelineError::StageFailed {
+                stage,
+                attempts,
+                last_error,
+            } => write!(f, "stage '{stage}' failed after {attempts} attempts: {last_error}"),
+            PipelineError::DeadlineExceeded {
+                stage,
+                elapsed,
+                deadline,
+            } => write!(f, "stage '{stage}' blew its {deadline} deadline (spent {elapsed})"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
 /// Everything the pipeline produces.
 pub struct PipelineReport {
     pub stages: Vec<StageTiming>,
@@ -86,6 +191,8 @@ pub struct PipelineReport {
     pub eval_mean_speed: f64,
     pub eval_crashes: usize,
     pub model: CarModel,
+    /// The attempt/fault/checkpoint history of the run.
+    pub run_log: RunLog,
 }
 
 impl PipelineReport {
@@ -103,6 +210,110 @@ impl PipelineReport {
     }
 }
 
+/// What one attempt of a fallible stage reported back to the retry driver.
+enum StageFault {
+    /// Worth another try: the attempt died for a transient reason, after
+    /// consuming `charged` simulated time.
+    Retryable { why: String, charged: SimDuration },
+    /// Not worth retrying; abort the run with this error.
+    Fatal(PipelineError),
+}
+
+/// Drive one fallible stage under `policy`: run attempts until one succeeds,
+/// the attempt cap is hit, or the stage deadline is blown, charging
+/// exponential backoff (with jitter derived from `seed`) between attempts
+/// and recording every attempt in `log`. Returns the stage's value plus the
+/// total simulated time the stage consumed.
+fn retry_stage<T>(
+    stage: &str,
+    policy: &RetryPolicy,
+    seed: u64,
+    log: &mut RunLog,
+    mut attempt_fn: impl FnMut(u32) -> Result<(T, SimDuration), StageFault>,
+) -> Result<(T, SimDuration), PipelineError> {
+    let mut elapsed = SimDuration::ZERO;
+    let mut attempt = 1u32;
+    let mut last_error = "never attempted".to_string();
+    loop {
+        if !policy.allows(attempt, elapsed) {
+            return Err(if policy.deadline_exceeded(elapsed) {
+                PipelineError::DeadlineExceeded {
+                    stage: stage.to_string(),
+                    elapsed,
+                    deadline: policy.deadline.unwrap_or(SimDuration::ZERO),
+                }
+            } else {
+                PipelineError::StageFailed {
+                    stage: stage.to_string(),
+                    attempts: attempt.saturating_sub(1),
+                    last_error,
+                }
+            });
+        }
+        match attempt_fn(attempt) {
+            Ok((value, charged)) => {
+                elapsed += charged;
+                log.attempts.push(AttemptRecord {
+                    stage: stage.to_string(),
+                    attempt,
+                    outcome: "ok".to_string(),
+                    charged,
+                    backoff: SimDuration::ZERO,
+                });
+                return Ok((value, elapsed));
+            }
+            Err(StageFault::Fatal(e)) => return Err(e),
+            Err(StageFault::Retryable { why, charged }) => {
+                elapsed += charged;
+                // Only charge backoff when another attempt is coming.
+                let backoff = if policy.allows(attempt + 1, elapsed) {
+                    policy.backoff(attempt, seed)
+                } else {
+                    SimDuration::ZERO
+                };
+                elapsed += backoff;
+                log.attempts.push(AttemptRecord {
+                    stage: stage.to_string(),
+                    attempt,
+                    outcome: why.clone(),
+                    charged,
+                    backoff,
+                });
+                last_error = why;
+                attempt += 1;
+            }
+        }
+    }
+}
+
+/// GPUs to fall back to when `preferred` has no capacity: every kind with
+/// strictly lower sustained throughput, best first — degraded runs get
+/// *slower*, never faster, so recovery always costs simulated time.
+fn fallback_chain(preferred: GpuKind) -> Vec<GpuKind> {
+    let eff = |g: GpuKind| g.peak_tflops() * g.sustained_fraction();
+    let mut slower: Vec<GpuKind> = [
+        GpuKind::A100,
+        GpuKind::Mi100,
+        GpuKind::V100NvLink,
+        GpuKind::V100,
+        GpuKind::Rtx6000,
+        GpuKind::P100,
+        GpuKind::M40,
+        GpuKind::K80,
+    ]
+    .into_iter()
+    .filter(|g| eff(*g) < eff(preferred))
+    .collect();
+    slower.sort_by(|a, b| {
+        eff(*b)
+            .partial_cmp(&eff(*a))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut chain = vec![preferred];
+    chain.extend(slower);
+    chain
+}
+
 /// The pipeline runner.
 pub struct Pipeline {
     pub track: Track,
@@ -116,30 +327,47 @@ impl Pipeline {
 
     /// Statically validate the configured model graph (shape propagation
     /// over the zoo *plan* — no tensors allocated, no model built).
-    /// [`Pipeline::run`] calls this first; callers who want a recoverable
-    /// error instead of a panic call it themselves before `run`.
+    /// [`Pipeline::run`] calls this first and surfaces failures as
+    /// [`PipelineError::ModelRejected`].
     pub fn preflight(&self) -> Result<GraphReport, Vec<GraphError>> {
         let spec = CarModel::plan(self.config.model_kind, &self.config.model);
         validate_model(&spec)
     }
 
-    /// Run the whole loop. Host CPU does the math; simulated time is
-    /// attributed per stage.
-    pub fn run(&self) -> PipelineReport {
+    /// Run the whole loop on the happy path: no injected faults, default
+    /// retry policy. Host CPU does the math; simulated time is attributed
+    /// per stage.
+    pub fn run(&self) -> Result<PipelineReport, PipelineError> {
+        self.run_chaos(&mut FaultPlan::none(), &RetryPolicy::default())
+    }
+
+    /// Run the whole loop under fault injection: `plan` is consulted at
+    /// every fallible operation, failed attempts are retried under
+    /// `policy`, and the report's [`RunLog`] records what happened.
+    pub fn run_chaos(
+        &self,
+        plan: &mut FaultPlan,
+        policy: &RetryPolicy,
+    ) -> Result<PipelineReport, PipelineError> {
         let cfg = &self.config;
         if let Err(errs) = self.preflight() {
-            // INVARIANT: a degenerate model config must be rejected before
-            // any stage runs; recoverable callers use `preflight()` first.
-            panic!("model plan rejected:\n{}", format_errors(&errs));
+            return Err(PipelineError::ModelRejected(errs));
         }
+        let seed = cfg.collection.seed;
+        let mut log = RunLog::default();
         let mut stages = Vec::new();
+        let checkpoint = |log: &mut RunLog, stage: &str| {
+            log.completed_stages.push(stage.to_string());
+        };
 
-        // 1. Collect (student drives for the configured duration).
+        // 1. Collect (student drives for the configured duration; the car
+        // is offline during collection, so no continuum faults apply).
         let collected = collect_session(&self.track, &cfg.collection);
         stages.push(StageTiming {
             stage: "collect".into(),
             duration: SimDuration::from_secs(collected.session.duration_s),
         });
+        checkpoint(&mut log, "collect");
         let records_collected = collected.records.len();
 
         // 2. Clean. The manual tubclean review plays the video back; charge
@@ -154,60 +382,212 @@ impl Pipeline {
                 stage: "clean".into(),
                 duration: SimDuration::from_secs(collected.session.duration_s / 4.0),
             });
+            checkpoint(&mut log, "clean");
         }
         let records_cleaned = records.len();
 
-        // 3. Reserve the GPU node (on-demand; instant when capacity free).
+        // 3. Reserve the GPU node. An injected capacity window walks down
+        // the fallback chain to a strictly slower GPU; a transient launch
+        // failure burns the wasted lease time and retries.
         let mut reservations = ReservationSystem::new(Site::chameleon());
-        let node_type = format!("gpu_{}", cfg.gpu.name().to_lowercase());
-        reservations
-            .on_demand("autolearn", &node_type, 1, SimTime::ZERO, 4.0 * 3600.0)
-            .expect("chameleon has free capacity in the default scenario");
+        let chain = fallback_chain(cfg.gpu);
+        let mut chain_idx = 0usize;
+        let ((gpu_used, launch), reserve_time) = retry_stage(
+            "reserve",
+            policy,
+            derive_seed(seed, "retry-reserve"),
+            &mut log,
+            |_attempt| {
+                let gpu = chain[chain_idx.min(chain.len() - 1)];
+                let node_type = format!("gpu_{}", gpu.name().to_lowercase());
+                match launch_lease(
+                    &mut reservations,
+                    "autolearn",
+                    &node_type,
+                    1,
+                    SimTime::ZERO,
+                    4.0 * 3600.0,
+                    plan,
+                ) {
+                    Ok(launch) => {
+                        let launch_time = launch.launch_time;
+                        Ok(((gpu, launch), launch_time))
+                    }
+                    Err(LaunchError::Refused(e)) => {
+                        Err(StageFault::Fatal(PipelineError::Reservation(e)))
+                    }
+                    Err(LaunchError::Transient { wasted }) => Err(StageFault::Retryable {
+                        why: format!("transient launch failure on {node_type}"),
+                        charged: wasted,
+                    }),
+                    Err(LaunchError::CapacityWindow { wasted, window }) => {
+                        if chain_idx + 1 < chain.len() {
+                            chain_idx += 1;
+                            Err(StageFault::Retryable {
+                                why: format!(
+                                    "no {node_type} capacity, falling back to {}",
+                                    chain[chain_idx]
+                                ),
+                                charged: wasted,
+                            })
+                        } else {
+                            // Nothing slower to fall back to: wait the
+                            // window out and try the same type again.
+                            Err(StageFault::Retryable {
+                                why: format!("no {node_type} capacity, waiting out window"),
+                                charged: wasted + window,
+                            })
+                        }
+                    }
+                }
+            },
+        )?;
+        let mut preempt = launch.preempt_at_fraction;
+        stages.push(StageTiming {
+            stage: "reserve".into(),
+            duration: reserve_time,
+        });
+        checkpoint(&mut log, "reserve");
+        log.gpu_used = gpu_used.name().to_string();
 
-        // 4. Provision the CUDA image + rsync the tub up.
-        let upload = transfer_time(
-            &Path::car_to_cloud(),
-            &TransferSpec::rsync(tub_bytes_estimate(&records)),
-        );
-        let plan = ProvisioningPlan::cuda_image(upload);
+        // 4. Provision the CUDA image + rsync the tub up. The bare-metal
+        // deploy steps are charged once; the upload is a resumable transfer
+        // that re-sends only the delta after a mid-transfer fault.
+        let fixed = ProvisioningPlan::cuda_image(SimDuration::ZERO).total();
+        let mut upload = ResumableTransfer::new(TransferSpec::rsync(tub_bytes_estimate(&records)));
+        let (_, upload_time) = retry_stage(
+            "provision+upload",
+            policy,
+            derive_seed(seed, "retry-upload"),
+            &mut log,
+            |_attempt| match upload.attempt(&Path::car_to_cloud(), plan, "tub-upload") {
+                Ok(d) => Ok(((), d)),
+                Err((failure, charged)) => Err(StageFault::Retryable {
+                    why: failure.to_string(),
+                    charged,
+                }),
+            },
+        )?;
         stages.push(StageTiming {
             stage: "provision+upload".into(),
-            duration: plan.total(),
+            duration: fixed + upload_time,
         });
+        checkpoint(&mut log, "provision+upload");
 
-        // 5. Train (real math on host; device time attributed).
+        // 5. Train (real math on host; device time attributed). A scheduled
+        // preemption revokes the lease mid-training: the partial epoch is
+        // lost, the node relaunches, and training resumes from the last
+        // completed epoch boundary.
         let mut model = CarModel::build(cfg.model_kind, &cfg.model);
         let data = prepare_dataset(&records_to_dataset(&records, &cfg.model), model.input_spec());
         let trainer = Trainer::new(cfg.train.clone());
         let train_report = trainer
             .fit(&mut model, &data)
-            // INVARIANT: preflight() above already validated this plan; the
-            // live graph matching it is asserted by the zoo tests.
-            .unwrap_or_else(|errs| panic!("model graph rejected:\n{}", format_errors(&errs)));
+            .map_err(PipelineError::ModelRejected)?;
         let cost = TrainingCostModel::new(
             model.flops_per_inference(),
             train_report.examples_seen,
             cfg.train.batch_size as u64,
         );
+        let base_train = training_time(&cost, &ComputeDevice::of_gpu(gpu_used));
+        let train_time = match preempt.take() {
+            None => {
+                log.attempts.push(AttemptRecord {
+                    stage: "train".into(),
+                    attempt: 1,
+                    outcome: "ok".into(),
+                    charged: base_train,
+                    backoff: SimDuration::ZERO,
+                });
+                base_train
+            }
+            Some(at_fraction) => {
+                // Checkpoints land at epoch boundaries: resume re-runs the
+                // interrupted epoch, after a fresh node launch.
+                let epochs = cfg.train.epochs.max(1) as f64;
+                let kept = (at_fraction * epochs).floor() / epochs;
+                let lost = SimDuration::from_secs(base_train.as_secs() * at_fraction);
+                let relaunch = SimDuration::from_secs(LAUNCH_OVERHEAD_S);
+                let resume = SimDuration::from_secs(base_train.as_secs() * (1.0 - kept));
+                log.attempts.push(AttemptRecord {
+                    stage: "train".into(),
+                    attempt: 1,
+                    outcome: format!(
+                        "preempted at {:.0}% of training, resuming from epoch {}",
+                        at_fraction * 100.0,
+                        (at_fraction * epochs).floor() as u64
+                    ),
+                    charged: lost + relaunch,
+                    backoff: SimDuration::ZERO,
+                });
+                log.attempts.push(AttemptRecord {
+                    stage: "train".into(),
+                    attempt: 2,
+                    outcome: "ok".into(),
+                    charged: resume,
+                    backoff: SimDuration::ZERO,
+                });
+                lost + relaunch + resume
+            }
+        };
         stages.push(StageTiming {
             stage: "train".into(),
-            duration: training_time(&cost, &ComputeDevice::of_gpu(cfg.gpu)),
+            duration: train_time,
         });
+        checkpoint(&mut log, "train");
 
-        // 6. Ship the model: object store PUT from the GPU node, GET on the
-        // car (model JSON ≈ 4 B/param + structure).
+        // 6. Deploy the model: object store PUT from the GPU node (the
+        // datacenter fabric is not a fault site), resumable GET down to the
+        // car, then the car's container (re)start — both fault-prone.
         let model_bytes = (model.param_count() * 4 + 4096) as u64;
-        let ship = transfer_time(
+        let put = transfer_time(
             &Path::of_presets(&[autolearn_net::LinkPreset::Datacenter]),
             &TransferSpec::object_store(model_bytes),
-        ) + transfer_time(
-            &Path::car_to_cloud(),
-            &TransferSpec::object_store(model_bytes),
         );
+        let mut get = ResumableTransfer::new(TransferSpec::object_store(model_bytes));
+        let (_, get_time) = retry_stage(
+            "deploy-model",
+            policy,
+            derive_seed(seed, "retry-deploy"),
+            &mut log,
+            |_attempt| match get.attempt(&Path::car_to_cloud(), plan, "model-download") {
+                Ok(d) => Ok(((), d)),
+                Err((failure, charged)) => Err(StageFault::Retryable {
+                    why: failure.to_string(),
+                    charged,
+                }),
+            },
+        )?;
+        let mut runtime = ContainerRuntime::new();
+        let image = ImageSpec::autolearn();
+        let (_, container_time) = retry_stage(
+            "deploy-container",
+            policy,
+            derive_seed(seed, "retry-container"),
+            &mut log,
+            // The image stays cached across failed attempts, so retries
+            // start warm — only the fault's own cost is paid again.
+            |_attempt| match runtime.launch_with_faults(&image, &Path::car_to_cloud(), plan) {
+                Ok((_container, d)) => Ok(((), d)),
+                Err(err) => {
+                    let wasted = match &err {
+                        autolearn_edge::EdgeLaunchError::DeviceDisconnected { wasted, .. } => {
+                            *wasted
+                        }
+                        autolearn_edge::EdgeLaunchError::ContainerCrashed { wasted } => *wasted,
+                    };
+                    Err(StageFault::Retryable {
+                        why: err.to_string(),
+                        charged: wasted,
+                    })
+                }
+            },
+        )?;
         stages.push(StageTiming {
             stage: "deploy-model".into(),
-            duration: ship,
+            duration: put + get_time + container_time,
         });
+        checkpoint(&mut log, "deploy-model");
 
         // 7. Evaluate: autonomous laps on the same kind of car that
         // collected the data.
@@ -239,8 +619,10 @@ impl Pipeline {
             stage: "evaluate".into(),
             duration: SimDuration::from_secs(eval.duration_s),
         });
+        checkpoint(&mut log, "evaluate");
 
-        PipelineReport {
+        log.faults = plan.injected().to_vec();
+        Ok(PipelineReport {
             stages,
             records_collected,
             records_cleaned,
@@ -250,7 +632,8 @@ impl Pipeline {
             eval_mean_speed: eval.mean_speed(),
             eval_crashes: eval.crashes,
             model: pilot.into_model(),
-        }
+            run_log: log,
+        })
     }
 }
 
@@ -272,7 +655,7 @@ mod tests {
     fn full_pipeline_trains_a_driving_model() {
         let track = circle_track(3.0, 0.8);
         let pipeline = Pipeline::new(track, quick_config(11));
-        let report = pipeline.run();
+        let report = pipeline.run().expect("fault-free run succeeds");
 
         assert!(report.records_collected >= 1200);
         assert!(report.records_cleaned <= report.records_collected);
@@ -287,7 +670,15 @@ mod tests {
         assert!(report.eval_mean_speed > 0.2);
 
         // All stages accounted.
-        for stage in ["collect", "clean", "provision+upload", "train", "deploy-model", "evaluate"] {
+        for stage in [
+            "collect",
+            "clean",
+            "reserve",
+            "provision+upload",
+            "train",
+            "deploy-model",
+            "evaluate",
+        ] {
             assert!(report.stage(stage).is_some(), "missing stage {stage}");
         }
         // Provisioning dominates a short lesson, as every Chameleon user
@@ -296,10 +687,15 @@ mod tests {
             report.stage("provision+upload").unwrap().as_secs()
                 > report.stage("train").unwrap().as_secs()
         );
+        // Fault-free run: no faults, no failed attempts, configured GPU.
+        assert!(report.run_log.faults.is_empty());
+        assert_eq!(report.run_log.failed_attempts(), 0);
+        assert_eq!(report.run_log.gpu_used, "V100");
+        assert_eq!(report.run_log.completed_stages.last().unwrap(), "evaluate");
     }
 
     #[test]
-    fn preflight_rejects_degenerate_camera() {
+    fn degenerate_model_yields_typed_error_not_panic() {
         // A 4x4 camera cannot survive the zoo's conv stack; the pipeline
         // must reject the config statically, before collecting anything.
         let mut cfg = quick_config(14);
@@ -308,6 +704,12 @@ mod tests {
         let pipeline = Pipeline::new(circle_track(3.0, 0.8), cfg);
         let errs = pipeline.preflight().expect_err("must reject 4x4 camera");
         assert!(!errs.is_empty());
+        match pipeline.run() {
+            Err(PipelineError::ModelRejected(run_errs)) => {
+                assert_eq!(run_errs.len(), errs.len())
+            }
+            other => panic!("expected ModelRejected, got {:?}", other.map(|_| "report")),
+        }
     }
 
     #[test]
@@ -326,9 +728,10 @@ mod tests {
         cfg.train.epochs = 2;
         cfg.eval_laps = 1;
         cfg.eval_max_duration_s = 20.0;
-        let report = Pipeline::new(track, cfg).run();
+        let report = Pipeline::new(track, cfg).run().expect("run succeeds");
         assert_eq!(report.records_cleaned, report.records_collected);
         assert!(report.stage("clean").is_none());
+        assert!(!report.run_log.completed_stages.contains(&"clean".into()));
     }
 
     #[test]
@@ -339,11 +742,64 @@ mod tests {
         cfg.train.epochs = 2;
         cfg.eval_laps = 1;
         cfg.eval_max_duration_s = 20.0;
-        let report = Pipeline::new(track, cfg).run();
+        let report = Pipeline::new(track, cfg).run().expect("run succeeds");
         let sum: f64 = report.stages.iter().map(|s| s.duration.as_secs()).sum();
         assert!((report.total_time().as_secs() - sum).abs() < 1e-9);
         // A lesson is tens of minutes of simulated time, not hours.
         assert!(report.total_time().as_mins() > 10.0);
         assert!(report.total_time().as_hours() < 3.0);
+    }
+
+    #[test]
+    fn fallback_chain_is_strictly_slower() {
+        let eff = |g: GpuKind| g.peak_tflops() * g.sustained_fraction();
+        for preferred in [GpuKind::V100, GpuKind::A100, GpuKind::K80] {
+            let chain = fallback_chain(preferred);
+            assert_eq!(chain[0], preferred);
+            for pair in chain.windows(2) {
+                assert!(
+                    eff(pair[0]) > eff(pair[1]),
+                    "{} !> {}",
+                    pair[0],
+                    pair[1]
+                );
+            }
+        }
+        // K80 is the floor: nothing to fall back to.
+        assert_eq!(fallback_chain(GpuKind::K80).len(), 1);
+    }
+
+    #[test]
+    fn retry_stage_respects_attempt_cap_and_deadline() {
+        let policy = RetryPolicy::default();
+        let mut log = RunLog::default();
+        let err = retry_stage::<()>("doomed", &policy, 1, &mut log, |_| {
+            Err(StageFault::Retryable {
+                why: "always fails".into(),
+                charged: SimDuration::from_secs(1.0),
+            })
+        })
+        .unwrap_err();
+        match err {
+            PipelineError::StageFailed {
+                stage, attempts, ..
+            } => {
+                assert_eq!(stage, "doomed");
+                assert_eq!(attempts, policy.max_attempts);
+            }
+            other => panic!("expected StageFailed, got {other}"),
+        }
+        assert_eq!(log.attempts.len(), policy.max_attempts as usize);
+
+        let tight = RetryPolicy::default().with_deadline(SimDuration::from_secs(0.5));
+        let mut log = RunLog::default();
+        let err = retry_stage::<()>("late", &tight, 1, &mut log, |_| {
+            Err(StageFault::Retryable {
+                why: "slow".into(),
+                charged: SimDuration::from_secs(10.0),
+            })
+        })
+        .unwrap_err();
+        assert!(matches!(err, PipelineError::DeadlineExceeded { .. }));
     }
 }

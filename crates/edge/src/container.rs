@@ -7,6 +7,7 @@
 //! running commands on the Raspberry Pi" (§3.5).
 
 use autolearn_net::{transfer_time, Path, TransferSpec};
+use autolearn_util::fault::{FaultKind, FaultPlan, FaultSite};
 use autolearn_util::SimDuration;
 use serde::{Deserialize, Serialize};
 
@@ -86,6 +87,34 @@ impl Container {
     }
 }
 
+/// Why a fault-aware container launch failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EdgeLaunchError {
+    /// The device dropped off the testbed mid-launch and stays unreachable
+    /// for `outage`.
+    DeviceDisconnected {
+        outage: SimDuration,
+        wasted: SimDuration,
+    },
+    /// The container crashed during start-up.
+    ContainerCrashed { wasted: SimDuration },
+}
+
+impl std::fmt::Display for EdgeLaunchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EdgeLaunchError::DeviceDisconnected { outage, .. } => {
+                write!(f, "edge device disconnected ({outage} outage)")
+            }
+            EdgeLaunchError::ContainerCrashed { wasted } => {
+                write!(f, "container crashed during start ({wasted} wasted)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EdgeLaunchError {}
+
 /// Per-device container runtime with an image cache.
 pub struct ContainerRuntime {
     cached_images: Vec<String>,
@@ -128,6 +157,50 @@ impl ContainerRuntime {
             },
             pull + self.start_time,
         )
+    }
+
+    /// Pull `image` into the cache without starting a container; returns the
+    /// pull time (zero when already cached). Useful for warming a device
+    /// before a fault-prone launch window.
+    pub fn preload(&mut self, image: &ImageSpec, net_path: &Path) -> SimDuration {
+        if self.image_cached(image) {
+            SimDuration::ZERO
+        } else {
+            self.cached_images.push(image.name.clone());
+            transfer_time(net_path, &TransferSpec::object_store(image.bytes))
+        }
+    }
+
+    /// Launch under fault injection. A device disconnect or container crash
+    /// aborts the attempt, but the image pull that completed before the
+    /// fault stays cached — a retry starts warm, the way Docker behaves on a
+    /// real Pi.
+    pub fn launch_with_faults(
+        &mut self,
+        image: &ImageSpec,
+        net_path: &Path,
+        plan: &mut FaultPlan,
+    ) -> Result<(Container, SimDuration), EdgeLaunchError> {
+        let pull = self.preload(image, net_path);
+        match plan.draw(FaultSite::Edge, &image.name) {
+            Some(FaultKind::DeviceDisconnect { outage_s }) => {
+                Err(EdgeLaunchError::DeviceDisconnected {
+                    outage: SimDuration::from_secs(outage_s),
+                    wasted: pull + SimDuration::from_secs(outage_s),
+                })
+            }
+            Some(FaultKind::ContainerCrash { wasted_s }) => Err(EdgeLaunchError::ContainerCrashed {
+                wasted: pull + SimDuration::from_secs(wasted_s),
+            }),
+            _ => Ok((
+                Container {
+                    image: image.clone(),
+                    state: ContainerState::Running,
+                    console_log: Vec::new(),
+                },
+                pull + self.start_time,
+            )),
+        }
     }
 }
 
@@ -174,6 +247,46 @@ mod tests {
             ContainerError::TextEditingUnsupported
         );
         assert_eq!(c.console_log.len(), 1);
+    }
+
+    #[test]
+    fn faulty_launch_keeps_image_cached_for_warm_retry() {
+        use autolearn_util::fault::FaultConfig;
+        // Find a seed whose first edge draw is a fault.
+        for seed in 0..64 {
+            let mut plan = FaultPlan::from_seed(seed, FaultConfig::chaos(1.0));
+            let mut rt = ContainerRuntime::new();
+            let img = ImageSpec::autolearn();
+            if let Err(err) = rt.launch_with_faults(&img, &wifi(), &mut plan) {
+                let wasted = match &err {
+                    EdgeLaunchError::DeviceDisconnected { wasted, .. } => *wasted,
+                    EdgeLaunchError::ContainerCrashed { wasted } => *wasted,
+                };
+                assert!(wasted.as_secs() > 0.0, "{err}: nothing charged");
+                // The pull survived the fault: the retry is warm.
+                assert!(rt.image_cached(&img));
+                let (c, warm) = rt
+                    .launch_with_faults(&img, &wifi(), &mut FaultPlan::none())
+                    .unwrap();
+                assert_eq!(c.state, ContainerState::Running);
+                assert_eq!(warm.as_secs(), 18.0);
+                return;
+            }
+        }
+        panic!("no edge fault found in 64 seeds");
+    }
+
+    #[test]
+    fn preload_then_faultless_launch_is_warm() {
+        let mut rt = ContainerRuntime::new();
+        let img = ImageSpec::autolearn();
+        let pull = rt.preload(&img, &wifi());
+        assert!(pull.as_mins() > 1.0);
+        assert_eq!(rt.preload(&img, &wifi()), SimDuration::ZERO);
+        let (_, launch) = rt
+            .launch_with_faults(&img, &wifi(), &mut FaultPlan::none())
+            .unwrap();
+        assert_eq!(launch.as_secs(), 18.0);
     }
 
     #[test]

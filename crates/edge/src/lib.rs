@@ -20,5 +20,7 @@ pub mod container;
 pub mod device;
 
 pub use byod::{ByodWorkflow, SetupStep, ZeroToReady};
-pub use container::{Container, ContainerError, ContainerRuntime, ContainerState, ImageSpec};
+pub use container::{
+    Container, ContainerError, ContainerRuntime, ContainerState, EdgeLaunchError, ImageSpec,
+};
 pub use device::{DeviceError, DeviceKind, DeviceState, EdgeDevice};

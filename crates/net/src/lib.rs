@@ -13,10 +13,15 @@
 //! * transfer-time modelling for bulk data (rsync/scp semantics with
 //!   handshake cost) and for small request/response messages (remote
 //!   inference RPCs),
-//! * RTT sampling with deterministic jitter for closed-loop experiments.
+//! * RTT sampling with deterministic jitter for closed-loop experiments,
+//! * [`chaos`] — fault-aware resumable transfers that consult a seeded
+//!   [`FaultPlan`](autolearn_util::fault::FaultPlan) and resume from the
+//!   rsync delta after a mid-transfer failure.
 
+pub mod chaos;
 pub mod link;
 pub mod transfer;
 
+pub use chaos::{ResumableTransfer, TransferFailure};
 pub use link::{Link, LinkPreset, Path};
-pub use transfer::{rpc_round_trip, transfer_time, TransferSpec};
+pub use transfer::{rpc_round_trip, transfer_time, TransferSpec, MAX_EFFECTIVE_LOSS};

@@ -7,15 +7,20 @@
 //! network library, typed id generation, and streaming statistics used by the
 //! experiment harnesses.
 
+pub mod fault;
 pub mod ids;
 pub mod image;
+pub mod retry;
 pub mod rng;
 pub mod simclock;
 pub mod stats;
 pub mod time;
 
+pub use fault::{FaultConfig, FaultKind, FaultPlan, FaultSite, InjectedFault};
 pub use ids::IdGen;
 pub use image::Image;
+pub use retry::RetryPolicy;
+pub use rng::derive_seed;
 pub use simclock::SimClock;
 pub use stats::{percentile, RunningStats, Summary};
 pub use time::{SimDuration, SimTime};

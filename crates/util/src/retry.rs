@@ -1,0 +1,147 @@
+//! Sim-time retry policies: exponential backoff with deterministic jitter,
+//! attempt caps and per-stage deadlines.
+//!
+//! The backoff schedule operates on *simulated* time — a retried pipeline
+//! stage charges its backoff to the scenario clock, never to the host — and
+//! the jitter is derived from a seed so replaying a run reproduces the exact
+//! same waits.
+
+use crate::rng::derive_rng;
+use crate::time::SimDuration;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How a fallible stage is retried.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Total attempts allowed (first try included). Never zero.
+    pub max_attempts: u32,
+    /// Backoff before the second attempt.
+    pub base_backoff: SimDuration,
+    /// Multiplier applied per subsequent attempt.
+    pub factor: f64,
+    /// Ceiling on a single backoff.
+    pub max_backoff: SimDuration,
+    /// Deterministic jitter, as a fraction of the computed backoff added on
+    /// top (decorrelates retry storms across stages).
+    pub jitter_frac: f64,
+    /// Optional cap on a stage's total simulated time (attempts + backoffs).
+    pub deadline: Option<SimDuration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: SimDuration::from_secs(5.0),
+            factor: 2.0,
+            max_backoff: SimDuration::from_mins(2.0),
+            jitter_frac: 0.1,
+            deadline: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (one attempt, no backoff).
+    pub fn no_retries() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Attach a per-stage deadline.
+    pub fn with_deadline(mut self, deadline: SimDuration) -> RetryPolicy {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Whether attempt number `next_attempt` (1-based) may start after
+    /// `elapsed` simulated time has already been spent in the stage.
+    pub fn allows(&self, next_attempt: u32, elapsed: SimDuration) -> bool {
+        next_attempt <= self.max_attempts.max(1) && !self.deadline_exceeded(elapsed)
+    }
+
+    /// Whether `elapsed` has blown the stage deadline.
+    pub fn deadline_exceeded(&self, elapsed: SimDuration) -> bool {
+        self.deadline
+            .map(|d| elapsed.as_secs() >= d.as_secs())
+            .unwrap_or(false)
+    }
+
+    /// Backoff to charge after failed attempt `attempt` (1-based), with
+    /// jitter derived deterministically from `seed`.
+    pub fn backoff(&self, attempt: u32, seed: u64) -> SimDuration {
+        let exp = self.base_backoff.as_secs() * self.factor.powi(attempt.saturating_sub(1) as i32);
+        let capped = exp.min(self.max_backoff.as_secs());
+        let jitter = if self.jitter_frac > 0.0 {
+            let mut rng = derive_rng(seed, &format!("backoff-{attempt}"));
+            capped * self.jitter_frac * rng.gen::<f64>()
+        } else {
+            0.0
+        };
+        SimDuration::from_secs(capped + jitter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially_then_caps() {
+        let p = RetryPolicy {
+            jitter_frac: 0.0,
+            ..RetryPolicy::default()
+        };
+        let b1 = p.backoff(1, 0).as_secs();
+        let b2 = p.backoff(2, 0).as_secs();
+        let b3 = p.backoff(3, 0).as_secs();
+        assert_eq!(b1, 5.0);
+        assert_eq!(b2, 10.0);
+        assert_eq!(b3, 20.0);
+        // Far attempts hit the ceiling.
+        assert_eq!(p.backoff(30, 0).as_secs(), p.max_backoff.as_secs());
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let p = RetryPolicy::default();
+        let a = p.backoff(2, 99);
+        let b = p.backoff(2, 99);
+        assert_eq!(a, b);
+        let nominal = 10.0;
+        assert!(a.as_secs() >= nominal && a.as_secs() <= nominal * (1.0 + p.jitter_frac));
+        // Different seeds shift the jitter.
+        assert_ne!(p.backoff(2, 99), p.backoff(2, 100));
+    }
+
+    #[test]
+    fn attempt_cap_enforced() {
+        let p = RetryPolicy::default();
+        assert!(p.allows(4, SimDuration::ZERO));
+        assert!(!p.allows(5, SimDuration::ZERO));
+        assert!(RetryPolicy::no_retries().allows(1, SimDuration::ZERO));
+        assert!(!RetryPolicy::no_retries().allows(2, SimDuration::ZERO));
+    }
+
+    #[test]
+    fn deadline_enforced() {
+        let p = RetryPolicy::default().with_deadline(SimDuration::from_secs(60.0));
+        assert!(p.allows(2, SimDuration::from_secs(59.0)));
+        assert!(!p.allows(2, SimDuration::from_secs(60.0)));
+        assert!(p.deadline_exceeded(SimDuration::from_secs(61.0)));
+        assert!(!RetryPolicy::default().deadline_exceeded(SimDuration::from_hours(10.0)));
+    }
+
+    #[test]
+    fn zero_max_attempts_still_allows_first_try() {
+        let p = RetryPolicy {
+            max_attempts: 0,
+            ..RetryPolicy::default()
+        };
+        assert!(p.allows(1, SimDuration::ZERO));
+        assert!(!p.allows(2, SimDuration::ZERO));
+    }
+}

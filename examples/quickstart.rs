@@ -33,7 +33,9 @@ fn main() {
         config.model_kind.name(),
         config.gpu.name()
     );
-    let report = Pipeline::new(track, config).run();
+    let report = Pipeline::new(track, config)
+        .run()
+        .expect("fault-free lesson pipeline runs");
 
     println!("pipeline stages (simulated wall-clock):");
     for stage in &report.stages {

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# The full local CI gate: release build, the complete test suite, and the
+# static-analysis gate — everything a change must pass before merging.
+#
+#   scripts/ci.sh
+#
+# Runs all three phases even when an earlier one fails, so one invocation
+# reports every broken gate; exits non-zero if any phase failed.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+status=0
+
+echo "== ci: cargo build --release =="
+cargo build --release || status=$?
+
+echo
+echo "== ci: cargo test -q =="
+cargo test -q || status=$?
+
+echo
+echo "== ci: static-analysis gate =="
+scripts/analyze.sh || status=$?
+
+echo
+if [ "$status" -eq 0 ]; then
+    echo "ci: all gates green"
+else
+    echo "ci: FAILED (status $status)"
+fi
+exit "$status"
