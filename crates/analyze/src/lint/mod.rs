@@ -8,6 +8,8 @@
 
 /// Allowlist file format and matching.
 pub mod allow;
+/// Baseline ratchet: compare a run against a committed snapshot.
+pub mod baseline;
 /// Human and JSON report rendering.
 pub mod report;
 /// The `Rule` trait and built-in rules.

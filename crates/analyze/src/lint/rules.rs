@@ -55,6 +55,9 @@ pub fn builtin_rules() -> Vec<Box<dyn Rule>> {
         Box::new(NoSleepInHotPath),
         Box::new(FloatCastTruncation),
         Box::new(NoUnboundedRetry),
+        Box::new(NoWallclockInSim),
+        Box::new(NoUnorderedIteration),
+        Box::new(NoUnannotatedNarrowing),
     ]
 }
 
@@ -98,8 +101,10 @@ where
     out
 }
 
-/// `Result::unwrap()` / `Option::unwrap()` in library code turns a
-/// recoverable condition into a process abort on the car.
+/// `Result::unwrap()` / `Option::unwrap()` outside tests turns a
+/// recoverable condition into a process abort — on the car for library
+/// code, mid-experiment for the bench binaries. Both are in scope; only
+/// `#[cfg(test)]` code is exempt.
 pub struct NoUnwrapInLib;
 
 impl Rule for NoUnwrapInLib {
@@ -108,17 +113,13 @@ impl Rule for NoUnwrapInLib {
     }
 
     fn description(&self) -> &'static str {
-        "library code must not call .unwrap(); propagate errors or document the invariant"
-    }
-
-    fn applies_to(&self, file: &SourceFile) -> bool {
-        !file.is_bin
+        "non-test code must not call .unwrap(); propagate errors or document the invariant"
     }
 
     fn check(&self, file: &SourceFile) -> Vec<Finding> {
         scan_code(self.id(), file, &[".unwrap()"], |_| {
-            "`.unwrap()` in library code; return a Result or use unwrap_or_else with a \
-             documented invariant"
+            "`.unwrap()` in non-test code; return a Result, handle the None, or use \
+             unwrap_or_else with a documented invariant"
                 .to_string()
         })
     }
@@ -263,6 +264,14 @@ fn is_documented(file: &SourceFile, item_line: usize) -> bool {
         if code.starts_with("#[") || code.ends_with(']') && code.starts_with('#') {
             continue; // attribute
         }
+        if code == ")]" || code == "]" {
+            // Closer of a multi-line attribute (e.g. a rustfmt-split
+            // `#[derive(...)]`): skip up to its opening line.
+            while i > 0 && !file.code[i].trim().starts_with("#[") {
+                i -= 1;
+            }
+            continue;
+        }
         if code.is_empty() && comment.is_empty() {
             return false; // blank line: doc block (if any) is detached
         }
@@ -388,6 +397,204 @@ impl Rule for NoUnboundedRetry {
     }
 }
 
+/// Reading the host's wall clock inside simulated code breaks replay: two
+/// runs of the same seed would observe different times. Simulated
+/// components must derive every timestamp from `SimClock` / `SimTime`.
+/// Only `crates/bench` (which measures real host performance) may touch
+/// the wall clock.
+pub struct NoWallclockInSim;
+
+impl Rule for NoWallclockInSim {
+    fn id(&self) -> &'static str {
+        "no-wallclock-in-sim"
+    }
+
+    fn description(&self) -> &'static str {
+        "no SystemTime::now/Instant::now outside crates/bench; use the simulation clock"
+    }
+
+    fn applies_to(&self, file: &SourceFile) -> bool {
+        !file.rel_path.starts_with("crates/bench/")
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Finding> {
+        scan_code(
+            self.id(),
+            file,
+            &["SystemTime::now", "Instant::now"],
+            |needle| {
+                format!(
+                    "`{needle}` in simulated code; wall-clock reads break seeded replay — \
+                     derive time from SimClock/SimTime"
+                )
+            },
+        )
+    }
+}
+
+/// Iterating a `HashMap`/`HashSet` in a block that feeds a report, log,
+/// or RNG makes the output depend on hasher state, which varies across
+/// runs and platforms. Such iterations must be sorted first or use a
+/// BTree container.
+pub struct NoUnorderedIteration;
+
+/// Iteration forms that surface a hash container's arbitrary order.
+const HASH_ITER_HINTS: &[&str] = &[".iter()", ".keys()", ".values()", ".into_iter()", ".drain()"];
+/// Order-sensitive destinations: anything a human or a seeded RNG reads.
+const ORDER_SINKS: &[&str] = &[
+    "println!", "writeln!", "write!", "format!", "push_str", "report", "log", "seed", "rng",
+];
+/// Order restorers / order-insensitive folds that make the iteration safe.
+const ORDER_VETOES: &[&str] = &[
+    "sort", "BTreeMap", "BTreeSet", ".sum(", ".count(", ".len(", ".min(", ".max(", ".all(",
+    ".any(", ".product(",
+];
+
+impl Rule for NoUnorderedIteration {
+    fn id(&self) -> &'static str {
+        "no-unordered-iteration"
+    }
+
+    fn description(&self) -> &'static str {
+        "HashMap/HashSet iteration feeding reports/logs/RNG must be sorted or use BTree"
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Finding> {
+        let vars = hash_container_vars(file);
+        if vars.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for (i, code) in file.code.iter().enumerate() {
+            if file.in_test[i] {
+                continue;
+            }
+            let iterates = vars.iter().any(|v| {
+                HASH_ITER_HINTS
+                    .iter()
+                    .any(|h| code.contains(&format!("{v}{h}")))
+                    || code.contains(&format!("in &{v}"))
+                    || code.contains(&format!("in {v} "))
+            });
+            if !iterates {
+                continue;
+            }
+            // The span the iteration flows through: the brace block it
+            // opens, or the statement it belongs to.
+            let end = if code.contains('{') {
+                block_end(file, i).unwrap_or(i)
+            } else {
+                statement_end(file, i)
+            };
+            let span = file.code[i..=end].join("\n");
+            let sinks = ORDER_SINKS.iter().any(|s| span.contains(s));
+            let ordered = ORDER_VETOES.iter().any(|v| span.contains(v));
+            if sinks && !ordered {
+                out.push(finding(
+                    self.id(),
+                    file,
+                    i,
+                    "hash-container iteration feeds an order-sensitive sink; sort the keys \
+                     or use a BTree container"
+                        .to_string(),
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Names of local bindings declared as `HashMap` / `HashSet` in this file
+/// (a cheap, type-free approximation: `let [mut] name ... Hash{Map,Set}`
+/// declarations and `name: Hash{Map,Set}<...>` fields).
+fn hash_container_vars(file: &SourceFile) -> Vec<String> {
+    let mut vars = Vec::new();
+    for code in &file.code {
+        if !code.contains("HashMap") && !code.contains("HashSet") {
+            continue;
+        }
+        let name = if let Some(rest) = code.trim_start().strip_prefix("let ") {
+            let rest = rest.trim_start().trim_start_matches("mut ");
+            rest.split(|c: char| !c.is_alphanumeric() && c != '_')
+                .next()
+                .map(str::to_string)
+        } else {
+            // `name: HashMap<..>` field or param declarations.
+            code.split_once(": Hash").and_then(|(before, _)| {
+                before
+                    .rsplit(|c: char| !c.is_alphanumeric() && c != '_')
+                    .next()
+                    .map(str::to_string)
+            })
+        };
+        if let Some(n) = name {
+            if !n.is_empty() && !vars.contains(&n) {
+                vars.push(n);
+            }
+        }
+    }
+    vars
+}
+
+/// Last line of the statement starting at `start`: scan until a line ends
+/// with `;` (or the file runs out).
+fn statement_end(file: &SourceFile, start: usize) -> usize {
+    for (i, code) in file.code.iter().enumerate().skip(start) {
+        if code.trim_end().ends_with(';') {
+            return i;
+        }
+    }
+    file.code.len() - 1
+}
+
+/// Bare narrowing `as` casts (`as u8/u16/u32/i8/i16/i32`) on the nn hot
+/// paths silently wrap or truncate out-of-range values. Each one needs an
+/// inline `analyze::allow(no-unannotated-narrowing)` comment justifying
+/// why the value fits. Widening casts (`as u64`) and the float/index
+/// casts owned by `float-cast-truncation` are out of scope.
+pub struct NoUnannotatedNarrowing;
+
+const NARROWING_CASTS: &[&str] = &[" as u8", " as u16", " as u32", " as i8", " as i16", " as i32"];
+
+impl Rule for NoUnannotatedNarrowing {
+    fn id(&self) -> &'static str {
+        "no-unannotated-narrowing"
+    }
+
+    fn description(&self) -> &'static str {
+        "bare narrowing `as` casts in crates/nn need an inline analyze::allow justification"
+    }
+
+    fn applies_to(&self, file: &SourceFile) -> bool {
+        file.rel_path.starts_with("crates/nn/src/")
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for (i, code) in file.code.iter().enumerate() {
+            if file.in_test[i] {
+                continue;
+            }
+            if let Some(needle) = NARROWING_CASTS
+                .iter()
+                .find(|n| contains_token_cast(code, n))
+            {
+                out.push(finding(
+                    self.id(),
+                    file,
+                    i,
+                    format!(
+                        "bare `{}` narrowing cast; justify with an inline \
+                         analyze::allow(no-unannotated-narrowing) comment",
+                        needle.trim_start()
+                    ),
+                ));
+            }
+        }
+        out
+    }
+}
+
 /// Whether `code` contains `keyword` as a standalone word (not part of an
 /// identifier like `driveloop` or `loop_count`).
 fn contains_keyword(code: &str, keyword: &str) -> bool {
@@ -466,14 +673,16 @@ mod tests {
     }
 
     #[test]
-    fn unwrap_fires_in_lib_not_in_tests_or_bins() {
+    fn unwrap_fires_in_lib_and_bins_not_in_tests() {
         let src = "pub fn f() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn g() { y.unwrap(); }\n}\n";
         let lib = file("crates/x/src/lib.rs", src);
         let found = NoUnwrapInLib.check(&lib);
         assert_eq!(found.len(), 1);
         assert_eq!(found[0].line, 1);
+        // Bins abort mid-experiment just as badly: in scope since PR 3.
         let bin = file("crates/x/src/bin/tool.rs", src);
-        assert!(!NoUnwrapInLib.applies_to(&bin));
+        assert!(NoUnwrapInLib.applies_to(&bin));
+        assert_eq!(NoUnwrapInLib.check(&bin).len(), 1);
     }
 
     #[test]
@@ -495,6 +704,14 @@ mod tests {
     fn pub_doc_rule_sees_docs_through_attributes() {
         let good = "/// Documented.\n#[derive(Debug)]\npub struct A;\n";
         assert!(PubItemNeedsDoc.check(&file("crates/x/src/a.rs", good)).is_empty());
+        // rustfmt-split multi-line derive between the doc and the item.
+        let split = "/// Documented.\n#[derive(\n    Debug, Clone,\n)]\npub struct B;\n";
+        assert!(PubItemNeedsDoc.check(&file("crates/x/src/a.rs", split)).is_empty());
+        let split_undoc = "#[derive(\n    Debug, Clone,\n)]\npub struct C;\n";
+        assert_eq!(
+            PubItemNeedsDoc.check(&file("crates/x/src/a.rs", split_undoc)).len(),
+            1
+        );
         let bad = "pub fn undocd() {}\n";
         assert_eq!(PubItemNeedsDoc.check(&file("crates/x/src/a.rs", bad)).len(), 1);
         let scoped = "pub(crate) fn internal() {}\n";
@@ -543,6 +760,71 @@ mod tests {
         // Bins are exempt, like the other abort-class rules.
         let bin = file("crates/x/src/bin/tool.rs", "fn main() {}");
         assert!(!NoUnboundedRetry.applies_to(&bin));
+    }
+
+    #[test]
+    fn wallclock_fires_outside_bench_only() {
+        let src = "fn f() { let t = std::time::Instant::now(); }\n";
+        let sim = file("crates/core/src/pipeline.rs", src);
+        assert!(NoWallclockInSim.applies_to(&sim));
+        let found = NoWallclockInSim.check(&sim);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("Instant::now"));
+        let bench = file("crates/bench/src/bin/exp.rs", src);
+        assert!(!NoWallclockInSim.applies_to(&bench));
+        let sys = "fn f() { let t = SystemTime::now(); }\n";
+        assert_eq!(NoWallclockInSim.check(&file("crates/x/src/a.rs", sys)).len(), 1);
+    }
+
+    #[test]
+    fn unordered_iteration_into_report_fires() {
+        let bad = "use std::collections::HashMap;\nfn f(m: HashMap<String, u32>) {\n    for k in m.keys() {\n        report.push_str(k);\n    }\n}\n";
+        let found = NoUnorderedIteration.check(&file("crates/x/src/a.rs", bad));
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].line, 3);
+    }
+
+    #[test]
+    fn sorted_or_aggregated_iteration_passes() {
+        // Sorting before the sink restores determinism.
+        let sorted = "fn f(m: HashMap<String, u32>) {\n    let mut ks: Vec<_> = m.keys().collect();\n    ks.sort();\n}\n";
+        assert!(NoUnorderedIteration
+            .check(&file("crates/x/src/a.rs", sorted))
+            .is_empty());
+        // Order-insensitive folds are safe even unsorted.
+        let sum = "fn f(m: HashMap<String, u32>) {\n    let total: u32 = m.values().sum();\n    log(total);\n}\n";
+        assert!(NoUnorderedIteration
+            .check(&file("crates/x/src/a.rs", sum))
+            .is_empty());
+        // Iteration with no order-sensitive sink is out of scope.
+        let plain = "fn f(s: HashSet<u32>) {\n    for v in s.iter() {\n        touch(v);\n    }\n}\n";
+        assert!(NoUnorderedIteration
+            .check(&file("crates/x/src/a.rs", plain))
+            .is_empty());
+    }
+
+    #[test]
+    fn unordered_iteration_into_rng_seed_fires() {
+        let bad = "fn f(s: HashSet<u64>) {\n    for v in s.iter() {\n        seed ^= v;\n    }\n}\n";
+        let found = NoUnorderedIteration.check(&file("crates/x/src/a.rs", bad));
+        assert_eq!(found.len(), 1, "{found:?}");
+    }
+
+    #[test]
+    fn narrowing_cast_in_nn_requires_justification() {
+        let bad = "fn f(t: u64) -> i32 { t as i32 }\n";
+        let hot = file("crates/nn/src/optim.rs", bad);
+        assert!(NoUnannotatedNarrowing.applies_to(&hot));
+        let found = NoUnannotatedNarrowing.check(&hot);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("as i32"));
+        // Widening and float/index casts belong to other rules.
+        let wide = "fn f(t: usize) -> u64 { t as u64 }\nfn g(x: f64) -> f32 { x as f32 }\n";
+        assert!(NoUnannotatedNarrowing
+            .check(&file("crates/nn/src/a.rs", wide))
+            .is_empty());
+        // Out of crates/nn the rule does not apply.
+        assert!(!NoUnannotatedNarrowing.applies_to(&file("crates/cloud/src/perf.rs", bad)));
     }
 
     #[test]

@@ -6,7 +6,7 @@ use autolearn_cloud::objectstore::ObjectStore;
 use autolearn_cloud::reservation::ReservationSystem;
 use autolearn_net::{rpc_round_trip, transfer_time, Path, TransferSpec};
 use autolearn_trovi::EventLog;
-use autolearn_util::SimTime;
+use autolearn_util::{Bytes, SimTime};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::collections::BTreeMap;
 use std::hint::black_box;
@@ -33,10 +33,10 @@ fn bench_reservations(c: &mut Criterion) {
 fn bench_network_models(c: &mut Criterion) {
     let path = Path::car_to_cloud();
     c.bench_function("transfer_time_model", |bench| {
-        bench.iter(|| black_box(transfer_time(&path, &TransferSpec::rsync(30_000_000))))
+        bench.iter(|| black_box(transfer_time(&path, &TransferSpec::rsync(Bytes::new(30_000_000)))))
     });
     c.bench_function("rpc_round_trip_model", |bench| {
-        bench.iter(|| black_box(rpc_round_trip(&path, 1200, 16)))
+        bench.iter(|| black_box(rpc_round_trip(&path, Bytes::new(1200), Bytes::new(16))))
     });
     let mut sampler = path.rtt_sampler(1);
     c.bench_function("rtt_sample", |bench| bench.iter(|| black_box(sampler.sample())));

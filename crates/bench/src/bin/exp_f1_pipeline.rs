@@ -60,8 +60,12 @@ fn main() {
         ],
     );
 
-    let provision = report.stage("provision+upload").unwrap();
-    let train = report.stage("train").unwrap();
+    let (Some(provision), Some(train)) =
+        (report.stage("provision+upload"), report.stage("train"))
+    else {
+        eprintln!("report is missing the provision/train stages; skipping shape check");
+        return;
+    };
     println!(
         "\nshape check: provisioning ({provision}) {} training ({train}) — {}",
         if provision.as_secs() > train.as_secs() { ">" } else { "<=" },

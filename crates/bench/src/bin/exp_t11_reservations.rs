@@ -13,7 +13,7 @@ use autolearn_bench::{f, print_table};
 use autolearn_cloud::hardware::{GpuKind, NodeType, Site};
 use autolearn_cloud::reservation::ReservationSystem;
 use autolearn_util::rng::derive_rng;
-use autolearn_util::SimTime;
+use autolearn_util::{SimDuration, SimTime};
 use rand::Rng;
 
 fn small_site() -> Site {
@@ -49,7 +49,7 @@ fn trial(bg_jobs: usize, advance: bool, seed: u64) -> bool {
         let t = rng.gen_range(0.0..7.0 * 86_400.0);
         let nodes = rng.gen_range(1..=3);
         let dur = rng.gen_range(2.0..24.0) * 3600.0;
-        let _ = rs.on_demand("research", "gpu_v100", nodes, SimTime::from_secs(t), dur);
+        let _ = rs.on_demand("research", "gpu_v100", nodes, SimTime::from_secs(t), SimDuration::from_secs(dur));
     }
 
     if advance {
@@ -60,7 +60,7 @@ fn trial(bg_jobs: usize, advance: bool, seed: u64) -> bool {
             "gpu_v100",
             3,
             SimTime::from_secs(class_start),
-            class_len,
+            SimDuration::from_secs(class_len),
         )
         .is_ok()
     }

@@ -56,7 +56,7 @@ fn main() {
         &rows,
     );
 
-    scores.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    scores.sort_by(|a, b| b.1.total_cmp(&a.1));
     println!("\nranking by competition score:");
     for (i, (kind, score)) in scores.iter().enumerate() {
         println!("  {}. {:<12} {:.3}", i + 1, kind.name(), score);

@@ -44,7 +44,7 @@ fn main() {
     );
 
     let order = |mut v: Vec<(ModelKind, f64)>| {
-        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        v.sort_by(|a, b| b.1.total_cmp(&a.1));
         v.into_iter().map(|(k, _)| k).collect::<Vec<_>>()
     };
     let so = order(sim_rank);

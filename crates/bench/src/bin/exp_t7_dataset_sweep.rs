@@ -17,7 +17,8 @@ fn main() {
     let track = paper_oval();
     // One big deterministic session, prefixes taken per size.
     let sizes = [250usize, 500, 1000, 2000, 4000, 8000];
-    let all = sample_dataset(&track, *sizes.last().unwrap(), 9);
+    let largest = sizes.iter().copied().max().unwrap_or(0);
+    let all = sample_dataset(&track, largest, 9);
 
     let mut rows = Vec::new();
     let mut last_loss = f32::INFINITY;

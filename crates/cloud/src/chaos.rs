@@ -72,7 +72,7 @@ pub fn launch_lease(
     node_type: &str,
     nodes: u32,
     now: SimTime,
-    duration_s: f64,
+    duration: SimDuration,
     plan: &mut FaultPlan,
 ) -> Result<LeaseLaunch, LaunchError> {
     match plan.draw(FaultSite::Cloud, node_type) {
@@ -88,7 +88,7 @@ pub fn launch_lease(
                 Some(FaultKind::Preemption { at_fraction }) => Some(at_fraction),
                 _ => None,
             };
-            rs.on_demand(project, node_type, nodes, now, duration_s)
+            rs.on_demand(project, node_type, nodes, now, duration)
                 .map(|lease| LeaseLaunch {
                     lease,
                     launch_time: SimDuration::from_secs(LAUNCH_OVERHEAD_S),
@@ -107,7 +107,15 @@ mod tests {
 
     fn launch(plan: &mut FaultPlan) -> Result<LeaseLaunch, LaunchError> {
         let mut rs = ReservationSystem::new(Site::chameleon());
-        launch_lease(&mut rs, "autolearn", "gpu_v100", 1, SimTime::ZERO, 3600.0, plan)
+        launch_lease(
+            &mut rs,
+            "autolearn",
+            "gpu_v100",
+            1,
+            SimTime::ZERO,
+            SimDuration::from_hours(1.0),
+            plan,
+        )
     }
 
     #[test]
@@ -126,7 +134,7 @@ mod tests {
             "gpu_h100",
             1,
             SimTime::ZERO,
-            3600.0,
+            SimDuration::from_hours(1.0),
             &mut FaultPlan::none(),
         )
         .unwrap_err();

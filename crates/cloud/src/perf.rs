@@ -8,6 +8,7 @@
 //! P100 and a Raspberry Pi, all of which survive this level of modelling.
 
 use crate::hardware::ComputeDevice;
+use autolearn_util::units::{Bytes, BytesPerSec};
 use autolearn_util::SimDuration;
 use serde::{Deserialize, Serialize};
 
@@ -71,25 +72,27 @@ pub struct MultiGpuConfig {
 }
 
 impl MultiGpuConfig {
-    /// Effective allreduce bandwidth, bytes/s.
-    fn fabric_bps(&self) -> f64 {
-        if self.nvlink {
-            150e9
-        } else {
-            12e9
-        }
+    /// Effective allreduce fabric bandwidth.
+    fn fabric(&self) -> BytesPerSec {
+        BytesPerSec::new(if self.nvlink { 150e9 } else { 12e9 })
     }
 
-    /// Ring-allreduce time for `param_count` fp32 gradients.
+    /// fp32 gradient buffer for `param_count` parameters.
+    fn gradient_bytes(param_count: u64) -> Bytes {
+        Bytes::new(param_count) * 4
+    }
+
+    /// Ring-allreduce time for `param_count` fp32 gradients, in seconds.
     pub fn allreduce_s(&self, param_count: u64) -> f64 {
         if self.gpus <= 1 {
             return 0.0;
         }
         let n = self.gpus as f64;
-        let bytes = param_count as f64 * 4.0;
         // Ring allreduce moves 2(n-1)/n of the buffer per GPU, plus a
-        // per-step fabric latency.
-        2.0 * (n - 1.0) / n * bytes / self.fabric_bps() + 30e-6 * (n - 1.0)
+        // per-step fabric latency. `Bytes / BytesPerSec` gives the full
+        // buffer's fabric time; the ring factor scales it.
+        let full_pass = Self::gradient_bytes(param_count) / self.fabric();
+        (full_pass * (2.0 * (n - 1.0) / n)).as_secs() + 30e-6 * (n - 1.0)
     }
 }
 
@@ -126,8 +129,15 @@ mod tests {
             .map(|&g| (g, training_time(&m, &ComputeDevice::of_gpu(g)).as_secs()))
             .collect();
         // A100 fastest, P100 slowest of the tested five.
-        let a100 = times.iter().find(|(g, _)| *g == GpuKind::A100).unwrap().1;
-        let p100 = times.iter().find(|(g, _)| *g == GpuKind::P100).unwrap().1;
+        let of = |kind: GpuKind| {
+            times
+                .iter()
+                .find(|(g, _)| *g == kind)
+                .map(|(_, t)| *t)
+                .expect("kind is in paper_tested")
+        };
+        let a100 = of(GpuKind::A100);
+        let p100 = of(GpuKind::P100);
         for (g, t) in &times {
             assert!(a100 <= *t + 1e-12, "A100 beaten by {g}");
             assert!(p100 >= *t - 1e-12, "P100 beats {g}");

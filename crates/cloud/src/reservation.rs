@@ -11,7 +11,7 @@
 
 use crate::hardware::Site;
 use autolearn_util::typed_id;
-use autolearn_util::SimTime;
+use autolearn_util::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 typed_id!(LeaseId, "lease");
@@ -165,16 +165,16 @@ impl ReservationSystem {
         Ok(id)
     }
 
-    /// On-demand request: starts `now`, for `duration` seconds.
+    /// On-demand request: starts `now`, runs for `duration`.
     pub fn on_demand(
         &mut self,
         project: &str,
         node_type: &str,
         nodes: u32,
         now: SimTime,
-        duration_s: f64,
+        duration: SimDuration,
     ) -> Result<LeaseId, ReservationError> {
-        self.reserve(project, node_type, nodes, now, SimTime(now.0 + duration_s))
+        self.reserve(project, node_type, nodes, now, now + duration)
     }
 
     /// Progress lease states to `now` (Pending→Active→Ended).
@@ -268,9 +268,9 @@ mod tests {
         let class = rs.reserve("class", "gpu_v100", 2, t(1000.0), t(2000.0));
         assert!(class.is_ok());
         // Walk-in wants a long job spanning the class window → refused.
-        assert!(rs.on_demand("walkin", "gpu_v100", 1, t(900.0), 300.0).is_err());
+        assert!(rs.on_demand("walkin", "gpu_v100", 1, t(900.0), SimDuration::from_secs(300.0)).is_err());
         // Short job ending before the class starts → fine.
-        assert!(rs.on_demand("walkin", "gpu_v100", 1, t(900.0), 50.0).is_ok());
+        assert!(rs.on_demand("walkin", "gpu_v100", 1, t(900.0), SimDuration::from_secs(50.0)).is_ok());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use autolearn_nn::models::ModelConfig;
 use autolearn_nn::{Dataset, Tensor};
 use autolearn_tub::Record;
-use autolearn_util::Image;
+use autolearn_util::{Bytes, Image};
 
 /// Convert an image to the `[C, H, W]` f32 tensor a model expects,
 /// resizing and collapsing channels as needed.
@@ -69,15 +69,17 @@ pub fn mirror_augment(records: &[Record]) -> Vec<Record> {
 
 /// Approximate on-disk size of a tub with these records, for the network
 /// transfer model: raw image bytes + ~150 B of catalog JSON per record.
-pub fn tub_bytes_estimate(records: &[Record]) -> u64 {
+pub fn tub_bytes_estimate(records: &[Record]) -> Bytes {
     records
         .iter()
         .map(|r| {
-            150 + r
-                .image
-                .as_ref()
-                .map(|i| i.len() as u64 + 12)
-                .unwrap_or(0)
+            Bytes::new(
+                150 + r
+                    .image
+                    .as_ref()
+                    .map(|i| i.len() as u64 + 12)
+                    .unwrap_or(0),
+            )
         })
         .sum()
 }
@@ -180,8 +182,8 @@ mod tests {
     fn byte_estimate_scales_with_resolution() {
         let small: Vec<Record> = (0..10).map(|i| record_with_gradient(i, 40, 30, 1)).collect();
         let large: Vec<Record> = (0..10).map(|i| record_with_gradient(i, 160, 120, 3)).collect();
-        assert!(tub_bytes_estimate(&large) > 10 * tub_bytes_estimate(&small));
+        assert!(tub_bytes_estimate(&large) > tub_bytes_estimate(&small) * 10);
         // 40x30x1 + 12 + 150 = 1362 per record.
-        assert_eq!(tub_bytes_estimate(&small), 10 * 1362);
+        assert_eq!(tub_bytes_estimate(&small), Bytes::new(10 * 1362));
     }
 }

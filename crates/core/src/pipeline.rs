@@ -28,13 +28,14 @@ use autolearn_edge::container::{ContainerRuntime, ImageSpec};
 use autolearn_net::{transfer_time, Path, ResumableTransfer, TransferSpec};
 use autolearn_nn::models::{prepare_dataset, CarModel, DonkeyModel, ModelConfig, ModelKind};
 use autolearn_nn::{
-    format_errors, validate_model, GraphError, GraphReport, TrainConfig, TrainReport, Trainer,
+    format_contract_errors, format_errors, standard_stages, validate_pipeline, ContractError,
+    ContractReport, DType, FrameContract, GraphError, TrainConfig, TrainReport, Trainer,
 };
 use autolearn_sim::{CarConfig, DriveConfig, Simulation};
 use autolearn_track::Track;
 use autolearn_tub::{CleanConfig, TubCleaner};
 use autolearn_util::fault::{FaultPlan, InjectedFault};
-use autolearn_util::{derive_seed, RetryPolicy, SimDuration, SimTime};
+use autolearn_util::{derive_seed, Bytes, Epochs, RetryPolicy, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// Pipeline configuration.
@@ -128,6 +129,9 @@ impl RunLog {
 pub enum PipelineError {
     /// The model plan failed static validation; nothing ran.
     ModelRejected(Vec<GraphError>),
+    /// The pipeline contract failed static validation (stage ordering,
+    /// artifact flow, units or the tub→model handoff); nothing ran.
+    ContractViolated(Vec<ContractError>),
     /// The reservation system refused the request for a non-transient
     /// reason (unknown node type, inverted window, genuine capacity).
     Reservation(ReservationError),
@@ -161,6 +165,13 @@ impl std::fmt::Display for PipelineError {
         match self {
             PipelineError::ModelRejected(errs) => {
                 write!(f, "model plan rejected:\n{}", format_errors(errs))
+            }
+            PipelineError::ContractViolated(errs) => {
+                write!(
+                    f,
+                    "pipeline contract violated:\n{}",
+                    format_contract_errors(errs)
+                )
             }
             PipelineError::Reservation(e) => write!(f, "reservation refused: {e}"),
             PipelineError::StageFailed {
@@ -325,13 +336,27 @@ impl Pipeline {
         Pipeline { track, config }
     }
 
-    /// Statically validate the configured model graph (shape propagation
-    /// over the zoo *plan* — no tensors allocated, no model built).
+    /// Statically validate the full pipeline contract before anything
+    /// runs: the configured model graph (shape propagation over the zoo
+    /// *plan* — no tensors allocated, no model built), the tub→model frame
+    /// handoff, and the stage chain's artifact flow, ordering and units.
     /// [`Pipeline::run`] calls this first and surfaces failures as
-    /// [`PipelineError::ModelRejected`].
-    pub fn preflight(&self) -> Result<GraphReport, Vec<GraphError>> {
-        let spec = CarModel::plan(self.config.model_kind, &self.config.model);
-        validate_model(&spec)
+    /// [`PipelineError::ContractViolated`].
+    pub fn preflight(&self) -> Result<ContractReport, Vec<ContractError>> {
+        let cfg = &self.config;
+        let spec = CarModel::plan(cfg.model_kind, &cfg.model);
+        let frames = FrameContract {
+            channels: cfg.model.channels,
+            height: cfg.model.height,
+            width: cfg.model.width,
+            dtype: DType::F32,
+        };
+        validate_pipeline(
+            &standard_stages(cfg.clean),
+            &spec,
+            CarModel::frame_layout(cfg.model_kind),
+            &frames,
+        )
     }
 
     /// Run the whole loop on the happy path: no injected faults, default
@@ -351,7 +376,7 @@ impl Pipeline {
     ) -> Result<PipelineReport, PipelineError> {
         let cfg = &self.config;
         if let Err(errs) = self.preflight() {
-            return Err(PipelineError::ModelRejected(errs));
+            return Err(PipelineError::ContractViolated(errs));
         }
         let seed = cfg.collection.seed;
         let mut log = RunLog::default();
@@ -406,7 +431,7 @@ impl Pipeline {
                     &node_type,
                     1,
                     SimTime::ZERO,
-                    4.0 * 3600.0,
+                    SimDuration::from_hours(4.0),
                     plan,
                 ) {
                     Ok(launch) => {
@@ -504,18 +529,18 @@ impl Pipeline {
             Some(at_fraction) => {
                 // Checkpoints land at epoch boundaries: resume re-runs the
                 // interrupted epoch, after a fresh node launch.
-                let epochs = cfg.train.epochs.max(1) as f64;
-                let kept = (at_fraction * epochs).floor() / epochs;
-                let lost = SimDuration::from_secs(base_train.as_secs() * at_fraction);
+                let planned = Epochs::new(cfg.train.epochs as u32).max_one();
+                let banked = planned.completed_at(at_fraction);
+                let kept = banked / planned;
+                let lost = base_train * at_fraction;
                 let relaunch = SimDuration::from_secs(LAUNCH_OVERHEAD_S);
-                let resume = SimDuration::from_secs(base_train.as_secs() * (1.0 - kept));
+                let resume = base_train * (1.0 - kept);
                 log.attempts.push(AttemptRecord {
                     stage: "train".into(),
                     attempt: 1,
                     outcome: format!(
-                        "preempted at {:.0}% of training, resuming from epoch {}",
+                        "preempted at {:.0}% of training, resuming from epoch {banked}",
                         at_fraction * 100.0,
-                        (at_fraction * epochs).floor() as u64
                     ),
                     charged: lost + relaunch,
                     backoff: SimDuration::ZERO,
@@ -539,7 +564,7 @@ impl Pipeline {
         // 6. Deploy the model: object store PUT from the GPU node (the
         // datacenter fabric is not a fault site), resumable GET down to the
         // car, then the car's container (re)start — both fault-prone.
-        let model_bytes = (model.param_count() * 4 + 4096) as u64;
+        let model_bytes = Bytes::new((model.param_count() * 4 + 4096) as u64);
         let put = transfer_time(
             &Path::of_presets(&[autolearn_net::LinkPreset::Datacenter]),
             &TransferSpec::object_store(model_bytes),
@@ -705,10 +730,28 @@ mod tests {
         let errs = pipeline.preflight().expect_err("must reject 4x4 camera");
         assert!(!errs.is_empty());
         match pipeline.run() {
-            Err(PipelineError::ModelRejected(run_errs)) => {
+            Err(PipelineError::ContractViolated(run_errs)) => {
                 assert_eq!(run_errs.len(), errs.len())
             }
-            other => panic!("expected ModelRejected, got {:?}", other.map(|_| "report")),
+            other => panic!(
+                "expected ContractViolated, got {:?}",
+                other.map(|_| "report")
+            ),
+        }
+    }
+
+    #[test]
+    fn preflight_chains_all_six_zoo_models() {
+        for kind in ModelKind::all() {
+            let mut cfg = quick_config(16);
+            cfg.model_kind = kind;
+            let pipeline = Pipeline::new(circle_track(3.0, 0.8), cfg);
+            let report = pipeline
+                .preflight()
+                .unwrap_or_else(|e| panic!("{kind:?}: {}", format_contract_errors(&e)));
+            assert_eq!(report.stages.len(), 7, "{kind:?}");
+            assert!(report.total_params > 0, "{kind:?}");
+            assert!(report.quantities_checked >= 10, "{kind:?}");
         }
     }
 

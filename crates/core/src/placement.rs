@@ -18,6 +18,7 @@
 use autolearn_cloud::hardware::ComputeDevice;
 use autolearn_cloud::perf::inference_latency;
 use autolearn_net::Path;
+use autolearn_util::Bytes;
 use serde::{Deserialize, Serialize};
 
 /// Where inference runs.
@@ -88,7 +89,7 @@ impl InferencePlacement {
             } => {
                 let infer = inference_latency(cloud_flops, gpu).as_secs();
                 let mut rtts = path.rtt_sampler(seed);
-                let ser = *frame_bytes as f64 / path.bottleneck_bandwidth();
+                let ser = (Bytes::new(*frame_bytes) / path.bottleneck_bandwidth()).as_secs();
                 let lats: Vec<f64> = (0..samples)
                     .map(|_| rtts.sample().as_secs() + ser + infer)
                     .collect();
@@ -103,7 +104,7 @@ impl InferencePlacement {
             } => {
                 let edge_l = inference_latency(edge_flops, edge_device).as_secs();
                 let cloud_infer = inference_latency(cloud_flops, gpu).as_secs();
-                let ser = *frame_bytes as f64 / path.bottleneck_bandwidth();
+                let ser = (Bytes::new(*frame_bytes) / path.bottleneck_bandwidth()).as_secs();
                 let mut rtts = path.rtt_sampler(seed);
                 let mut hits = 0usize;
                 let lats: Vec<f64> = (0..samples)

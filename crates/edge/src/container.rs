@@ -8,14 +8,14 @@
 
 use autolearn_net::{transfer_time, Path, TransferSpec};
 use autolearn_util::fault::{FaultKind, FaultPlan, FaultSite};
-use autolearn_util::SimDuration;
+use autolearn_util::{Bytes, SimDuration};
 use serde::{Deserialize, Serialize};
 
 /// A container image.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ImageSpec {
     pub name: String,
-    pub bytes: u64,
+    pub bytes: Bytes,
 }
 
 impl ImageSpec {
@@ -23,7 +23,7 @@ impl ImageSpec {
     pub fn autolearn() -> ImageSpec {
         ImageSpec {
             name: "autolearn/donkeycar-jupyter:latest".to_string(),
-            bytes: 850_000_000,
+            bytes: Bytes::new(850_000_000),
         }
     }
 }

@@ -8,7 +8,7 @@
 //! drops halfway through a tub upload.
 
 use crate::link::Path;
-use crate::transfer::{overhead_secs, serialisation_secs, TransferSpec};
+use crate::transfer::{overhead_time, serialisation_time, TransferSpec};
 use autolearn_util::fault::{FaultKind, FaultPlan, FaultSite};
 use autolearn_util::SimDuration;
 
@@ -77,9 +77,9 @@ impl ResumableTransfer {
         op: &str,
     ) -> Result<SimDuration, (TransferFailure, SimDuration)> {
         let remaining = (1.0 - self.completed).max(0.0);
-        let overhead = overhead_secs(path, &self.spec);
-        let remaining_bytes = (self.spec.bytes as f64 * remaining).ceil() as u64;
-        let ser = serialisation_secs(path, remaining_bytes, self.spec.efficiency);
+        let overhead = overhead_time(path, &self.spec);
+        let remaining_bytes = self.spec.bytes.scale_ceil(remaining);
+        let ser = serialisation_time(path, remaining_bytes, self.spec.efficiency);
         match plan.draw(FaultSite::Net, op) {
             Some(FaultKind::LinkFlap {
                 at_fraction,
@@ -87,13 +87,13 @@ impl ResumableTransfer {
             }) => {
                 self.completed += remaining * at_fraction;
                 let downtime = SimDuration::from_secs(downtime_s);
-                let charged = SimDuration::from_secs(overhead + ser * at_fraction + downtime_s);
+                let charged = overhead + ser * at_fraction + downtime;
                 Err((TransferFailure::LinkFlap { downtime }, charged))
             }
             Some(FaultKind::TransferStall { at_fraction, stall_s }) => {
                 self.completed += remaining * at_fraction;
                 let stalled_for = SimDuration::from_secs(stall_s);
-                let charged = SimDuration::from_secs(overhead + ser * at_fraction + stall_s);
+                let charged = overhead + ser * at_fraction + stalled_for;
                 Err((TransferFailure::Stall { stalled_for }, charged))
             }
             Some(FaultKind::LinkDegraded { bandwidth_factor }) => {
@@ -101,13 +101,13 @@ impl ResumableTransfer {
                 // fraction of the nominal bandwidth.
                 self.completed = 1.0;
                 let factor = bandwidth_factor.clamp(0.05, 1.0);
-                Ok(SimDuration::from_secs(overhead + ser / factor))
+                Ok(overhead + ser / factor)
             }
             // Non-net kinds are never drawn for FaultSite::Net; treat any
             // future addition as a clean pass rather than a crash.
             Some(_) | None => {
                 self.completed = 1.0;
-                Ok(SimDuration::from_secs(overhead + ser))
+                Ok(overhead + ser)
             }
         }
     }
@@ -118,6 +118,7 @@ mod tests {
     use super::*;
     use crate::transfer::transfer_time;
     use autolearn_util::fault::FaultConfig;
+    use autolearn_util::units::Bytes;
 
     fn wifi() -> Path {
         Path::car_to_cloud()
@@ -125,7 +126,7 @@ mod tests {
 
     #[test]
     fn fault_free_attempt_matches_transfer_time() {
-        let spec = TransferSpec::rsync(30_000_000);
+        let spec = TransferSpec::rsync(Bytes::new(30_000_000));
         let mut t = ResumableTransfer::new(spec);
         let got = t.attempt(&wifi(), &mut FaultPlan::none(), "up").unwrap();
         assert_eq!(got, transfer_time(&wifi(), &spec));
@@ -137,7 +138,7 @@ mod tests {
         // Find a seed whose first net draw is a failing fault.
         for seed in 0..64 {
             let mut plan = FaultPlan::from_seed(seed, FaultConfig::chaos(1.0));
-            let mut t = ResumableTransfer::new(TransferSpec::rsync(30_000_000));
+            let mut t = ResumableTransfer::new(TransferSpec::rsync(Bytes::new(30_000_000)));
             if let Err((failure, charged)) = t.attempt(&wifi(), &mut plan, "up") {
                 assert!(charged.as_secs() > 0.0, "{failure}: charged {charged}");
                 assert!(t.completed_fraction() > 0.0 && t.completed_fraction() < 1.0);
@@ -147,7 +148,7 @@ mod tests {
                 let retry = t
                     .attempt(&wifi(), &mut FaultPlan::none(), "up")
                     .expect("calm retry succeeds");
-                let full = transfer_time(&wifi(), &TransferSpec::rsync(30_000_000));
+                let full = transfer_time(&wifi(), &TransferSpec::rsync(Bytes::new(30_000_000)));
                 assert!(retry.as_secs() < full.as_secs(), "{retry} !< {full}");
                 assert!(t.is_complete());
                 return;
@@ -163,7 +164,7 @@ mod tests {
             let mut probe = FaultPlan::from_seed(seed, FaultConfig::chaos(1.0));
             let drawn = probe.draw(FaultSite::Net, "up");
             if let Some(FaultKind::LinkDegraded { .. }) = drawn {
-                let spec = TransferSpec::rsync(30_000_000);
+                let spec = TransferSpec::rsync(Bytes::new(30_000_000));
                 let mut t = ResumableTransfer::new(spec);
                 let got = t.attempt(&wifi(), &mut plan, "up").unwrap();
                 assert!(got.as_secs() > transfer_time(&wifi(), &spec).as_secs());
@@ -178,7 +179,7 @@ mod tests {
     fn attempts_are_deterministic_per_seed() {
         let run = |seed| {
             let mut plan = FaultPlan::from_seed(seed, FaultConfig::chaos(0.8));
-            let mut t = ResumableTransfer::new(TransferSpec::rsync(10_000_000));
+            let mut t = ResumableTransfer::new(TransferSpec::rsync(Bytes::new(10_000_000)));
             let mut timeline = Vec::new();
             // no-unbounded-retry: bounded by the explicit attempt cap below.
             for _attempt in 0..8 {

@@ -1,6 +1,7 @@
 //! Links and paths.
 
 use autolearn_util::rng::derive_rng;
+use autolearn_util::units::BytesPerSec;
 use autolearn_util::SimDuration;
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -115,11 +116,13 @@ impl Path {
         self.hops.iter().map(|h| h.latency_s).sum()
     }
 
-    pub fn bottleneck_bandwidth(&self) -> f64 {
+    /// The path's usable rate: the slowest hop's bandwidth, unit-typed so
+    /// callers divide payloads by it instead of open-coding `f64` ratios.
+    pub fn bottleneck_bandwidth(&self) -> BytesPerSec {
         self.hops
             .iter()
-            .map(|h| h.bandwidth_bps)
-            .fold(f64::INFINITY, f64::min)
+            .map(|h| BytesPerSec::new(h.bandwidth_bps))
+            .fold(BytesPerSec::new(f64::INFINITY), BytesPerSec::min)
     }
 
     pub fn jitter(&self) -> f64 {
@@ -196,7 +199,7 @@ mod tests {
     fn path_composition() {
         let p = Path::car_to_cloud();
         assert!((p.one_way_latency() - 0.019).abs() < 1e-9);
-        assert_eq!(p.bottleneck_bandwidth(), 3.0e6);
+        assert_eq!(p.bottleneck_bandwidth(), BytesPerSec::new(3.0e6));
         assert!(p.loss() > 0.01 && p.loss() < 0.012);
         assert!(p.jitter() > 0.002 && p.jitter() < 0.005);
     }

@@ -31,6 +31,10 @@ pub mod sequential;
 pub mod tensor;
 pub mod train;
 
+pub use autolearn_analyze::contract::{
+    format_contract_errors, standard_stages, validate_pipeline, ContractError, ContractReport,
+    DType, FrameContract, FrameLayout, StageSpec,
+};
 pub use autolearn_analyze::graph::{format_errors, validate_model, GraphError, GraphReport};
 pub use data::{Batch, Dataset};
 pub use layers::{Activation, Layer};

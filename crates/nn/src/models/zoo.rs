@@ -10,6 +10,7 @@ use crate::loss::{bin_value, one_hot, softmax_rows, unbin_value, Loss};
 use crate::optim::Optimizer;
 use crate::sequential::Sequential;
 use crate::tensor::Tensor;
+use autolearn_analyze::contract::FrameLayout;
 use autolearn_analyze::graph::{LayerSpec, ModelSpec};
 use autolearn_util::rng::derive_rng;
 use serde::{Deserialize, Serialize};
@@ -284,6 +285,17 @@ impl CarModel {
     /// not mirrored here fails validation before training starts. Feed it
     /// to [`autolearn_analyze::validate_model`] to vet a config (e.g. a
     /// degenerate camera geometry) before paying for `build`.
+    /// Where the camera frame lives in this kind's input tensor — the
+    /// static-contract counterpart of the input shape [`CarModel::plan`]
+    /// declares.
+    pub fn frame_layout(kind: ModelKind) -> FrameLayout {
+        match kind {
+            ModelKind::Rnn => FrameLayout::Btchw,
+            ModelKind::ThreeD => FrameLayout::Bcthw,
+            _ => FrameLayout::Bchw,
+        }
+    }
+
     pub fn plan(kind: ModelKind, cfg: &ModelConfig) -> ModelSpec {
         let (c, h, w) = (cfg.channels, cfg.height, cfg.width);
         let relu = || LayerSpec::Activation {

@@ -102,8 +102,9 @@ impl Optimizer for Adam {
             self.t = 0;
         }
         self.t += 1;
+        // analyze::allow(no-unannotated-narrowing): step count stays far below i32::MAX
         let b1t = 1.0 - self.beta1.powi(self.t as i32);
-        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32); // analyze::allow(no-unannotated-narrowing): same bound as above
         for ((p, m), v) in params.iter_mut().zip(&mut self.m).zip(&mut self.v) {
             debug_assert_eq!(p.value.len(), m.len(), "parameter set changed shape");
             let g = p.grad.data();

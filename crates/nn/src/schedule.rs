@@ -48,6 +48,7 @@ impl LrScheduler {
             LrSchedule::Constant => self.base_lr,
             LrSchedule::StepDecay { every, gamma } => {
                 let steps = epoch.checked_div(every).unwrap_or(0);
+                // analyze::allow(no-unannotated-narrowing): epoch-scale exponent fits i32
                 self.base_lr * gamma.powi(steps as i32)
             }
             LrSchedule::Cosine { floor } => {

@@ -11,8 +11,10 @@ pub struct Vec2 {
 }
 
 impl Vec2 {
+    /// The origin.
     pub const ZERO: Vec2 = Vec2 { x: 0.0, y: 0.0 };
 
+    /// A vector from its components.
     pub fn new(x: f64, y: f64) -> Self {
         Vec2 { x, y }
     }
@@ -25,6 +27,7 @@ impl Vec2 {
         }
     }
 
+    /// Dot product.
     pub fn dot(self, o: Vec2) -> f64 {
         self.x * o.x + self.y * o.y
     }
@@ -35,18 +38,22 @@ impl Vec2 {
         self.x * o.y - self.y * o.x
     }
 
+    /// Squared Euclidean length (no sqrt).
     pub fn norm_sq(self) -> f64 {
         self.dot(self)
     }
 
+    /// Euclidean length.
     pub fn norm(self) -> f64 {
         self.norm_sq().sqrt()
     }
 
+    /// Euclidean distance to `o`.
     pub fn dist(self, o: Vec2) -> f64 {
         (self - o).norm()
     }
 
+    /// Squared distance to `o` (no sqrt).
     pub fn dist_sq(self, o: Vec2) -> f64 {
         (self - o).norm_sq()
     }
@@ -83,6 +90,7 @@ impl Vec2 {
         }
     }
 
+    /// Linear interpolation: `self` at `t = 0`, `o` at `t = 1`.
     pub fn lerp(self, o: Vec2, t: f64) -> Vec2 {
         self + (o - self) * t
     }

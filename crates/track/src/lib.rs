@@ -15,11 +15,17 @@
 //! * the paper's two preset tracks and a procedural generator for the
 //!   "modify the shape of the track" extension exercises.
 
+/// 2-D vector algebra for the track plane.
 pub mod geometry;
+/// Closed polylines: arc length, projection, curvature.
 pub mod polyline;
+/// The paper's preset tracks.
 pub mod presets;
+/// Seeded procedural track generation.
 pub mod procedural;
+/// Surface classes under the car (tape, lane, off-track).
 pub mod surface;
+/// The drivable track: centerline, width, rasterised surface grid.
 pub mod track;
 
 pub use geometry::Vec2;

@@ -25,6 +25,7 @@ impl Surface {
         }
     }
 
+    /// Whether a car on this surface is still on the track.
     pub fn is_drivable(self) -> bool {
         !matches!(self, Surface::Off)
     }

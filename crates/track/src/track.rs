@@ -186,6 +186,7 @@ impl Track {
         self.grid = grid;
     }
 
+    /// The track's display name.
     pub fn name(&self) -> &str {
         &self.name
     }

@@ -55,14 +55,17 @@ pub struct CleanReport {
 }
 
 impl CleanReport {
+    /// Ids of every flagged record, in flag order.
     pub fn flagged_ids(&self) -> Vec<u64> {
         self.flagged.iter().map(|(id, _)| *id).collect()
     }
 
+    /// Total flagged records.
     pub fn count(&self) -> usize {
         self.flagged.len()
     }
 
+    /// Flagged records carrying `reason`.
     pub fn count_reason(&self, reason: CleanReason) -> usize {
         self.flagged.iter().filter(|(_, r)| *r == reason).count()
     }
@@ -74,6 +77,7 @@ pub struct TubCleaner {
 }
 
 impl TubCleaner {
+    /// A cleaner with the given thresholds.
     pub fn new(config: CleanConfig) -> TubCleaner {
         TubCleaner { config }
     }

@@ -25,9 +25,13 @@
 //! segments recorded by the collector), and [`stats`] for the dataset
 //! summaries the teaching module asks students to inspect.
 
+/// Heuristic tubclean pass (crash/off-track segment flagging).
 pub mod clean;
+/// One drive-loop sample: controls, timestamp, camera frame.
 pub mod record;
+/// Dataset summaries over a tub's records.
 pub mod stats;
+/// The on-disk tub format: manifest, catalogs, images.
 pub mod tub;
 
 pub use clean::{CleanConfig, CleanReport, TubCleaner};

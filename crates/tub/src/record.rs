@@ -35,6 +35,7 @@ pub struct Record {
 }
 
 impl Record {
+    /// A record from its parts.
     pub fn new(id: u64, steering: f32, throttle: f32, timestamp_ms: u64, image: Image) -> Record {
         Record {
             id,
@@ -55,6 +56,7 @@ impl Record {
         serde_json::to_string(self)
     }
 
+    /// Parse a record back from its catalog JSON line.
     pub fn from_catalog_line(line: &str) -> Result<Record, serde_json::Error> {
         serde_json::from_str(line)
     }

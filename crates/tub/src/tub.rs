@@ -105,14 +105,17 @@ impl Tub {
         })
     }
 
+    /// The tub's root directory.
     pub fn dir(&self) -> &Path {
         &self.dir
     }
 
+    /// Mutable access to the manifest metadata map.
     pub fn metadata_mut(&mut self) -> &mut std::collections::BTreeMap<String, String> {
         &mut self.manifest.metadata
     }
 
+    /// The manifest metadata map.
     pub fn metadata(&self) -> &std::collections::BTreeMap<String, String> {
         &self.manifest.metadata
     }
@@ -127,10 +130,12 @@ impl Tub {
         self.record_count() - self.manifest.deleted_ids.len()
     }
 
+    /// Ids marked deleted in the manifest.
     pub fn deleted_ids(&self) -> &BTreeSet<u64> {
         &self.manifest.deleted_ids
     }
 
+    /// Number of catalog files written so far.
     pub fn catalog_count(&self) -> usize {
         self.catalogs.len()
     }

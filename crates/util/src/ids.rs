@@ -15,6 +15,7 @@ pub struct IdGen {
 }
 
 impl IdGen {
+    /// A generator whose ids render as `<prefix>-<n>`.
     pub const fn new(prefix: &'static str) -> Self {
         IdGen {
             prefix,
@@ -55,6 +56,7 @@ macro_rules! typed_id {
             serde::Serialize,
             serde::Deserialize,
         )]
+        /// Typed id minted by the corresponding [`IdGen`].
         pub struct $name(pub u64);
 
         impl std::fmt::Display for $name {

@@ -35,6 +35,7 @@ impl Image {
         self.data.len()
     }
 
+    /// Whether the image holds no pixels.
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
     }

@@ -7,14 +7,24 @@
 //! network library, typed id generation, and streaming statistics used by the
 //! experiment harnesses.
 
+/// Seeded fault plans shared by every chaos-aware subsystem.
 pub mod fault;
+/// Typed id newtypes and atomic id generation.
 pub mod ids;
+/// Raw interleaved image container.
 pub mod image;
+/// Bounded retry/backoff policies.
 pub mod retry;
+/// Deterministic seed/RNG derivation.
 pub mod rng;
+/// Discrete-event simulation clock.
 pub mod simclock;
+/// Streaming statistics for experiment harnesses.
 pub mod stats;
+/// Simulated time: instants and durations.
 pub mod time;
+/// Unit-typed quantities (bytes, rates, epochs).
+pub mod units;
 
 pub use fault::{FaultConfig, FaultKind, FaultPlan, FaultSite, InjectedFault};
 pub use ids::IdGen;
@@ -24,3 +34,4 @@ pub use rng::derive_seed;
 pub use simclock::SimClock;
 pub use stats::{percentile, RunningStats, Summary};
 pub use time::{SimDuration, SimTime};
+pub use units::{Bytes, BytesPerSec, Epochs, SimSeconds};

@@ -55,6 +55,7 @@ impl<E> Default for SimClock<E> {
 }
 
 impl<E> SimClock<E> {
+    /// An empty clock at time zero.
     pub fn new() -> Self {
         SimClock {
             now: SimTime::ZERO,

@@ -13,6 +13,7 @@ pub struct RunningStats {
 }
 
 impl RunningStats {
+    /// An empty accumulator.
     pub fn new() -> Self {
         RunningStats {
             n: 0,
@@ -23,6 +24,7 @@ impl RunningStats {
         }
     }
 
+    /// Fold one sample in (Welford update).
     pub fn push(&mut self, x: f64) {
         self.n += 1;
         let delta = x - self.mean;
@@ -32,16 +34,19 @@ impl RunningStats {
         self.max = self.max.max(x);
     }
 
+    /// Fold a whole sequence of samples in.
     pub fn extend(&mut self, xs: impl IntoIterator<Item = f64>) {
         for x in xs {
             self.push(x);
         }
     }
 
+    /// Samples seen so far.
     pub fn count(&self) -> u64 {
         self.n
     }
 
+    /// Sample mean; 0 with no samples.
     pub fn mean(&self) -> f64 {
         if self.n == 0 {
             0.0
@@ -59,6 +64,7 @@ impl RunningStats {
         }
     }
 
+    /// Sample standard deviation.
     pub fn std_dev(&self) -> f64 {
         self.variance().sqrt()
     }
@@ -73,6 +79,7 @@ impl RunningStats {
         }
     }
 
+    /// Smallest sample; 0 with no samples.
     pub fn min(&self) -> f64 {
         if self.n == 0 {
             0.0
@@ -81,6 +88,7 @@ impl RunningStats {
         }
     }
 
+    /// Largest sample; 0 with no samples.
     pub fn max(&self) -> f64 {
         if self.n == 0 {
             0.0
@@ -89,6 +97,7 @@ impl RunningStats {
         }
     }
 
+    /// Snapshot of all statistics at once.
     pub fn summary(&self) -> Summary {
         Summary {
             count: self.n,

@@ -60,41 +60,51 @@ impl SimTime {
 }
 
 impl SimDuration {
+    /// The zero duration.
     pub const ZERO: SimDuration = SimDuration(0.0);
 
+    /// A duration of `s` simulated seconds (must be finite).
     pub fn from_secs(s: f64) -> Self {
         debug_assert!(s.is_finite(), "duration must be finite, got {s}");
         SimDuration(s)
     }
 
+    /// A duration of `ms` milliseconds.
     pub fn from_millis(ms: f64) -> Self {
         SimDuration(ms / 1e3)
     }
 
+    /// A duration of `us` microseconds.
     pub fn from_micros(us: f64) -> Self {
         SimDuration(us / 1e6)
     }
 
+    /// A duration of `m` minutes.
     pub fn from_mins(m: f64) -> Self {
         SimDuration(m * 60.0)
     }
 
+    /// A duration of `h` hours.
     pub fn from_hours(h: f64) -> Self {
         SimDuration(h * 3600.0)
     }
 
+    /// The duration in seconds.
     pub fn as_secs(self) -> f64 {
         self.0
     }
 
+    /// The duration in milliseconds.
     pub fn as_millis(self) -> f64 {
         self.0 * 1e3
     }
 
+    /// The duration in minutes.
     pub fn as_mins(self) -> f64 {
         self.0 / 60.0
     }
 
+    /// The duration in hours.
     pub fn as_hours(self) -> f64 {
         self.0 / 3600.0
     }
@@ -104,6 +114,7 @@ impl SimDuration {
         SimDuration(self.0.max(0.0))
     }
 
+    /// The longer of the two durations.
     pub fn max(self, other: SimDuration) -> SimDuration {
         if self.0 >= other.0 {
             self

@@ -23,6 +23,13 @@ echo "== ci: static-analysis gate =="
 scripts/analyze.sh || status=$?
 
 echo
+echo "== ci: analyzer baseline ratchet =="
+# Fails on any finding count above the committed snapshot; when counts
+# shrink, the snapshot is rewritten in place — commit the updated file.
+cargo run -q -p autolearn-analyze -- --workspace \
+    --baseline crates/analyze/analyze-baseline.json || status=$?
+
+echo
 if [ "$status" -eq 0 ]; then
     echo "ci: all gates green"
 else

@@ -8,7 +8,7 @@ use autolearn_cloud::reservation::ReservationSystem;
 use autolearn_edge::{ByodWorkflow, ContainerRuntime, DeviceKind, DeviceState, EdgeDevice, ImageSpec};
 use autolearn_net::{transfer_time, Path, TransferSpec};
 use autolearn_trovi::{Artifact, ContributionHub, EventKind, EventLog};
-use autolearn_util::{SimClock, SimTime};
+use autolearn_util::{Bytes, SimClock, SimTime};
 
 #[test]
 fn classroom_provisioning_day() {
@@ -32,7 +32,7 @@ fn classroom_provisioning_day() {
         .is_err());
 
     // Provisioning against a discrete-event clock.
-    let upload = transfer_time(&Path::car_to_cloud(), &TransferSpec::rsync(20_000_000));
+    let upload = transfer_time(&Path::car_to_cloud(), &TransferSpec::rsync(Bytes::new(20_000_000)));
     let plan = ProvisioningPlan::cuda_image(upload);
     let provisioner = Provisioner::start(plan, start);
     assert_eq!(provisioner.state_at(start), ProvisionState::Queued);
@@ -135,10 +135,10 @@ fn inference_rpc_fits_the_control_budget_only_nearby() {
     // on the campus path, but not over a 100 ms-latency WAN.
     use autolearn_net::{rpc_round_trip, Link};
     let campus = Path::car_to_cloud();
-    let t = rpc_round_trip(&campus, 1200, 16);
+    let t = rpc_round_trip(&campus, Bytes::new(1200), Bytes::new(16));
     assert!(t.as_millis() < 50.0, "campus RPC {t}");
 
     let wan = Path::new(vec![Link::fabric_with_latency(0.1)]);
-    let t = rpc_round_trip(&wan, 1200, 16);
+    let t = rpc_round_trip(&wan, Bytes::new(1200), Bytes::new(16));
     assert!(t.as_millis() > 50.0, "WAN RPC {t}");
 }

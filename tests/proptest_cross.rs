@@ -6,7 +6,7 @@ use autolearn::placement::max_safe_speed;
 use autolearn_nn::models::ModelConfig;
 use autolearn_net::{rpc_round_trip, transfer_time, Link, Path, TransferSpec};
 use autolearn_tub::Record;
-use autolearn_util::Image;
+use autolearn_util::{Bytes, Image};
 use proptest::prelude::*;
 
 fn cfg() -> ModelConfig {
@@ -49,7 +49,7 @@ proptest! {
             prop_assert!((-1.0..=1.0).contains(&d.steering()[i]));
             prop_assert!((0.0..=1.0).contains(&d.throttle()[i]));
         }
-        prop_assert_eq!(tub_bytes_estimate(&records), records.len() as u64 * 1362);
+        prop_assert_eq!(tub_bytes_estimate(&records), Bytes::new(records.len() as u64 * 1362));
     }
 
     /// Transfer time is monotone in bytes and anti-monotone in bandwidth.
@@ -62,13 +62,13 @@ proptest! {
             jitter_s: 0.0,
             loss: 0.0,
         }]);
-        let t1 = transfer_time(&path(bw), &TransferSpec::rsync(bytes));
-        let t2 = transfer_time(&path(bw), &TransferSpec::rsync(bytes * 2));
-        let t3 = transfer_time(&path(bw * 2.0), &TransferSpec::rsync(bytes));
+        let t1 = transfer_time(&path(bw), &TransferSpec::rsync(Bytes::new(bytes)));
+        let t2 = transfer_time(&path(bw), &TransferSpec::rsync(Bytes::new(bytes * 2)));
+        let t3 = transfer_time(&path(bw * 2.0), &TransferSpec::rsync(Bytes::new(bytes)));
         prop_assert!(t2.as_secs() >= t1.as_secs());
         prop_assert!(t3.as_secs() <= t1.as_secs());
         // RPC below bulk-with-handshake for same payload.
-        let r = rpc_round_trip(&path(bw), bytes.min(10_000), 16);
+        let r = rpc_round_trip(&path(bw), Bytes::new(bytes.min(10_000)), Bytes::new(16));
         prop_assert!(r.as_secs() > 0.0);
     }
 
