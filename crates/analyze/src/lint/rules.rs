@@ -58,6 +58,7 @@ pub fn builtin_rules() -> Vec<Box<dyn Rule>> {
         Box::new(NoWallclockInSim),
         Box::new(NoUnorderedIteration),
         Box::new(NoUnannotatedNarrowing),
+        Box::new(NoAllocInKernelLoop),
     ]
 }
 
@@ -595,6 +596,73 @@ impl Rule for NoUnannotatedNarrowing {
     }
 }
 
+/// The numeric kernels in `crates/nn` mark their steady-state inner loops
+/// with `// hot-kernel: begin` / `// hot-kernel: end` comment fences. The
+/// zero-realloc contract says everything inside those fences runs against
+/// pre-sized `Scratch`/pack buffers — any allocating call there
+/// (`Vec::new`, `vec![]`, `to_vec`, `with_capacity`, `Tensor::zeros`,
+/// `.clone()`) re-introduces per-step heap traffic the GEMM rewrite
+/// removed, and it usually happens silently during a refactor. This rule
+/// turns the contract into a ratcheted gate.
+pub struct NoAllocInKernelLoop;
+
+const KERNEL_ALLOC_NEEDLES: &[&str] = &[
+    "Vec::new(",
+    "vec![",
+    ".to_vec()",
+    "Vec::with_capacity(",
+    "Tensor::zeros(",
+    "Tensor::from_vec(",
+    "Box::new(",
+    ".clone()",
+];
+
+impl Rule for NoAllocInKernelLoop {
+    fn id(&self) -> &'static str {
+        "no-alloc-in-kernel-loop"
+    }
+
+    fn description(&self) -> &'static str {
+        "hot-kernel regions (between `hot-kernel: begin/end` comments) in crates/nn must not allocate"
+    }
+
+    fn applies_to(&self, file: &SourceFile) -> bool {
+        file.rel_path.starts_with("crates/nn/src/")
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Finding> {
+        let mut out = Vec::new();
+        let mut in_kernel = false;
+        for (i, code) in file.code.iter().enumerate() {
+            let comment = &file.comments[i];
+            if comment.contains("hot-kernel: begin") {
+                in_kernel = true;
+                continue;
+            }
+            if comment.contains("hot-kernel: end") {
+                in_kernel = false;
+                continue;
+            }
+            if !in_kernel || file.in_test[i] {
+                continue;
+            }
+            if let Some(needle) = KERNEL_ALLOC_NEEDLES.iter().find(|n| code.contains(**n)) {
+                out.push(finding(
+                    self.id(),
+                    file,
+                    i,
+                    format!(
+                        "`{}` allocates inside a hot-kernel region; stage the buffer in the \
+                         layer's Scratch arena (or move it above the `hot-kernel: begin` fence)",
+                        needle.trim_end_matches('(')
+                    ),
+                ));
+            }
+        }
+        out
+    }
+}
+
 /// Whether `code` contains `keyword` as a standalone word (not part of an
 /// identifier like `driveloop` or `loop_count`).
 fn contains_keyword(code: &str, keyword: &str) -> bool {
@@ -825,6 +893,45 @@ mod tests {
             .is_empty());
         // Out of crates/nn the rule does not apply.
         assert!(!NoUnannotatedNarrowing.applies_to(&file("crates/cloud/src/perf.rs", bad)));
+    }
+
+    #[test]
+    fn alloc_in_kernel_region_fires() {
+        let bad = "fn f() {\n    // hot-kernel: begin\n    let v = vec![0.0; n];\n    // hot-kernel: end\n}\n";
+        let f = file("crates/nn/src/layers/conv2d.rs", bad);
+        assert!(NoAllocInKernelLoop.applies_to(&f));
+        let found = NoAllocInKernelLoop.check(&f);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].line, 3);
+        assert!(found[0].message.contains("Scratch"));
+    }
+
+    #[test]
+    fn alloc_outside_kernel_region_is_fine() {
+        // Output-tensor allocation before the fence is the sanctioned
+        // pattern; allocations after `end` are also out of scope.
+        let good = "fn f() {\n    let out = Tensor::zeros(&s);\n    // hot-kernel: begin\n    gemm(o, a, b);\n    // hot-kernel: end\n    let c = x.clone();\n}\n";
+        assert!(NoAllocInKernelLoop
+            .check(&file("crates/nn/src/layers/conv2d.rs", good))
+            .is_empty());
+        // Rule is scoped to crates/nn.
+        let bad = "fn f() {\n    // hot-kernel: begin\n    let v = Vec::new();\n    // hot-kernel: end\n}\n";
+        assert!(!NoAllocInKernelLoop.applies_to(&file("crates/cloud/src/perf.rs", bad)));
+    }
+
+    #[test]
+    fn kernel_alloc_needles_cover_the_common_apis() {
+        for needle in [
+            "let a = Vec::new();",
+            "let b = x.to_vec();",
+            "let c = Vec::with_capacity(9);",
+            "let d = Tensor::from_vec(&s, v);",
+            "let e = t.clone();",
+        ] {
+            let src = format!("fn f() {{\n    // hot-kernel: begin\n    {needle}\n    // hot-kernel: end\n}}\n");
+            let found = NoAllocInKernelLoop.check(&file("crates/nn/src/tensor.rs", &src));
+            assert_eq!(found.len(), 1, "needle {needle:?} should fire: {found:?}");
+        }
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Hot numeric kernels: the conv/matmul/LSTM math behind every training
 //! stage and the camera render behind every simulated frame.
 
-use autolearn_nn::layers::{Conv2D, Dense, Layer, Lstm};
+use autolearn_nn::kernels;
+use autolearn_nn::layers::{Conv2D, Conv3D, Dense, Layer, Lstm};
 use autolearn_nn::Tensor;
 use autolearn_sim::{Camera, CameraConfig, VehicleState};
 use autolearn_track::paper_oval;
@@ -30,6 +31,52 @@ fn bench_conv2d(c: &mut Criterion) {
         bench.iter(|| {
             conv.zero_grads();
             black_box(conv.backward(&y))
+        })
+    });
+}
+
+/// DonkeyCar-geometry kernels: the exact shapes `Trainer::fit` runs at the
+/// paper's 120x160 camera with batch 32 (see also `kernel_bench`, which
+/// snapshots these against the naive reference kernels).
+fn bench_donkeycar_shapes(c: &mut Criterion) {
+    let mut rng = rng_from_seed(7);
+
+    // Flatten -> Dense(64) GEMM: [32, 7488] x [7488, 64].
+    let a = Tensor::randn(&[32, 7488], 1.0, &mut rng);
+    let b = Tensor::randn(&[7488, 64], 1.0, &mut rng);
+    let mut out = Tensor::zeros(&[32, 64]);
+    c.bench_function("matmul_b32_7488x64", |bench| {
+        bench.iter(|| {
+            kernels::matmul_into(out.data_mut(), a.data(), b.data(), 32, 7488, 64);
+            black_box(out.data());
+        })
+    });
+
+    // First zoo conv on the full camera frame.
+    let mut conv = Conv2D::new(1, 8, 5, 2, &mut rng);
+    let x = Tensor::randn(&[32, 1, 120, 160], 1.0, &mut rng);
+    c.bench_function("conv2d_forward_b32_120x160", |bench| {
+        bench.iter(|| black_box(conv.forward(&x, true)))
+    });
+    let y = conv.forward(&x, true);
+    c.bench_function("conv2d_backward_b32_120x160", |bench| {
+        bench.iter(|| {
+            conv.zero_grads();
+            black_box(conv.backward(&y))
+        })
+    });
+
+    // First 3-D conv of the ThreeD model over a 3-frame clip.
+    let mut conv3 = Conv3D::new(1, 8, 2, 5, 1, 2, &mut rng);
+    let x3 = Tensor::randn(&[32, 1, 3, 120, 160], 1.0, &mut rng);
+    c.bench_function("conv3d_forward_b32_t3_120x160", |bench| {
+        bench.iter(|| black_box(conv3.forward(&x3, true)))
+    });
+    let y3 = conv3.forward(&x3, true);
+    c.bench_function("conv3d_backward_b32_t3_120x160", |bench| {
+        bench.iter(|| {
+            conv3.zero_grads();
+            black_box(conv3.backward(&y3))
         })
     });
 }
@@ -83,6 +130,7 @@ fn bench_track_project(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_matmul,
+    bench_donkeycar_shapes,
     bench_conv2d,
     bench_dense,
     bench_lstm,

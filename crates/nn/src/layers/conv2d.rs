@@ -1,10 +1,23 @@
 //! 2-D convolution (valid padding, square stride), CHW layout.
+//!
+//! Forward and backward are lowered onto the blocked GEMM in
+//! [`crate::kernels`] via im2col/col2im: per example, the input is unrolled
+//! into a `[c*k*k, oh*ow]` column matrix once, after which
+//!
+//! * forward is `W[f, c*k*k] · cols` plus a bias broadcast,
+//! * `dw` is `g[f, oh*ow] · colsᵀ` accumulated over the batch,
+//! * `dx` is `Wᵀ · g` scattered back through col2im.
+//!
+//! The column matrices live in a per-layer [`Scratch`] arena: they are
+//! allocated once per (layer, batch-shape) and reused every step, and they
+//! double as the backward cache — the layer no longer clones its input on
+//! every forward.
 
 use super::{Layer, Param};
 use crate::init::glorot_uniform;
+use crate::kernels::{self, Scratch};
 use crate::tensor::Tensor;
 use rand::Rng;
-use rayon::prelude::*;
 
 /// Convolution over `[batch, in_ch, H, W]` with kernel
 /// `[filters, in_ch, k, k]` and stride `s` (valid padding), producing
@@ -16,7 +29,8 @@ pub struct Conv2D {
     filters: usize,
     k: usize,
     stride: usize,
-    cache_x: Option<Tensor>,
+    scratch: Scratch,
+    cache_in_shape: Option<[usize; 4]>,
 }
 
 impl Conv2D {
@@ -36,7 +50,8 @@ impl Conv2D {
             filters,
             k,
             stride,
-            cache_x: None,
+            scratch: Scratch::new(),
+            cache_in_shape: None,
         }
     }
 
@@ -57,113 +72,82 @@ impl Layer for Conv2D {
         assert_eq!(c, self.in_ch, "Conv2D channel mismatch");
         let (oh, ow) = self.out_hw(h, w);
         let (f, k, s) = (self.filters, self.k, self.stride);
+        let (ckk, ohow) = (c * k * k, oh * ow);
 
-        let mut out = vec![0.0f32; batch * f * oh * ow];
         let xin = x.data();
+        debug_assert_eq!(xin.len(), batch * c * h * w, "Conv2D input data/shape mismatch");
+        debug_assert_eq!(self.w.value.len(), f * ckk, "Conv2D weight data/shape mismatch");
+        debug_assert_eq!(self.b.value.len(), f, "Conv2D bias data/shape mismatch");
+        crate::tensor::debug_check_finite("Conv2D input", xin);
+        crate::tensor::debug_check_finite("Conv2D weights", self.w.value.data());
+
+        let mut out = Tensor::zeros(&[batch, f, oh, ow]);
+        let ov = out.data_mut();
+        // The whole batch's im2col matrices are kept for backward (dw needs
+        // them); the arena reuses the same storage every step.
+        let cols = self.scratch.get1(batch * ckk * ohow);
         let wv = self.w.value.data();
         let bv = self.b.value.data();
-        debug_assert_eq!(xin.len(), batch * c * h * w, "Conv2D input data/shape mismatch");
-        debug_assert_eq!(wv.len(), f * c * k * k, "Conv2D weight data/shape mismatch");
-        debug_assert_eq!(bv.len(), f, "Conv2D bias data/shape mismatch");
-        crate::tensor::debug_check_finite("Conv2D input", xin);
-        crate::tensor::debug_check_finite("Conv2D weights", wv);
 
-        out.par_chunks_mut(f * oh * ow).enumerate().for_each(|(bi, ob)| {
+        // hot-kernel: begin (im2col + GEMM forward, alloc-free)
+        for bi in 0..batch {
             let xb = &xin[bi * c * h * w..(bi + 1) * c * h * w];
+            let cb = &mut cols[bi * ckk * ohow..(bi + 1) * ckk * ohow];
+            kernels::im2col2d(xb, c, h, w, k, s, oh, ow, cb);
+            let ob = &mut ov[bi * f * ohow..(bi + 1) * f * ohow];
+            kernels::gemm(ob, false, wv, false, cb, false, f, ckk, ohow);
             for fi in 0..f {
-                let wf = &wv[fi * c * k * k..(fi + 1) * c * k * k];
                 let bias = bv[fi];
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let mut acc = bias;
-                        for ci in 0..c {
-                            let xc = &xb[ci * h * w..(ci + 1) * h * w];
-                            let wc = &wf[ci * k * k..(ci + 1) * k * k];
-                            for ky in 0..k {
-                                let row = (oy * s + ky) * w + ox * s;
-                                let xr = &xc[row..row + k];
-                                let wr = &wc[ky * k..ky * k + k];
-                                for (xv, wvv) in xr.iter().zip(wr) {
-                                    acc += xv * wvv;
-                                }
-                            }
-                        }
-                        ob[fi * oh * ow + oy * ow + ox] = acc;
-                    }
-                }
-            }
-        });
-
-        self.cache_x = Some(x.clone());
-        Tensor::from_vec(&[batch, f, oh, ow], out)
-    }
-
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let x = self.cache_x.as_ref().expect("backward before forward");
-        let (batch, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
-        let (f, k, s) = (self.filters, self.k, self.stride);
-        let (oh, ow) = self.out_hw(h, w);
-        assert_eq!(grad_out.shape(), &[batch, f, oh, ow]);
-
-        let xin = x.data();
-        let gout = grad_out.data();
-        let wv = self.w.value.data();
-        let wlen = f * c * k * k;
-
-        // Per-batch partials computed in parallel, reduced at the end:
-        // (dx for the example, dw partial, db partial).
-        let partials: Vec<(Vec<f32>, Vec<f32>, Vec<f32>)> = (0..batch)
-            .into_par_iter()
-            .map(|bi| {
-                let xb = &xin[bi * c * h * w..(bi + 1) * c * h * w];
-                let gb = &gout[bi * f * oh * ow..(bi + 1) * f * oh * ow];
-                let mut dxb = vec![0.0f32; c * h * w];
-                let mut dwb = vec![0.0f32; wlen];
-                let mut dbb = vec![0.0f32; f];
-                for fi in 0..f {
-                    let gf = &gb[fi * oh * ow..(fi + 1) * oh * ow];
-                    let wf = &wv[fi * c * k * k..(fi + 1) * c * k * k];
-                    let dwf = &mut dwb[fi * c * k * k..(fi + 1) * c * k * k];
-                    for oy in 0..oh {
-                        for ox in 0..ow {
-                            let g = gf[oy * ow + ox];
-                            if g == 0.0 {
-                                continue;
-                            }
-                            dbb[fi] += g;
-                            for ci in 0..c {
-                                let xoff = ci * h * w;
-                                let woff = ci * k * k;
-                                for ky in 0..k {
-                                    let irow = (oy * s + ky) * w + ox * s;
-                                    for kx in 0..k {
-                                        dwf[woff + ky * k + kx] += g * xb[xoff + irow + kx];
-                                        dxb[xoff + irow + kx] += g * wf[woff + ky * k + kx];
-                                    }
-                                }
-                            }
-                        }
-                    }
-                }
-                (dxb, dwb, dbb)
-            })
-            .collect();
-
-        let mut dx = vec![0.0f32; batch * c * h * w];
-        {
-            let dwg = self.w.grad.data_mut();
-            let dbg = self.b.grad.data_mut();
-            for (bi, (dxb, dwb, dbb)) in partials.into_iter().enumerate() {
-                dx[bi * c * h * w..(bi + 1) * c * h * w].copy_from_slice(&dxb);
-                for (a, b) in dwg.iter_mut().zip(&dwb) {
-                    *a += b;
-                }
-                for (a, b) in dbg.iter_mut().zip(&dbb) {
-                    *a += b;
+                for o in &mut ob[fi * ohow..(fi + 1) * ohow] {
+                    *o += bias;
                 }
             }
         }
-        Tensor::from_vec(&[batch, c, h, w], dx)
+        // hot-kernel: end
+
+        self.cache_in_shape = Some([batch, c, h, w]);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let [batch, c, h, w] = self.cache_in_shape.expect("backward before forward");
+        let (f, k, s) = (self.filters, self.k, self.stride);
+        let (oh, ow) = self.out_hw(h, w);
+        let (ckk, ohow) = (c * k * k, oh * ow);
+        assert_eq!(grad_out.shape(), &[batch, f, oh, ow]);
+
+        let gout = grad_out.data();
+        let mut dx = Tensor::zeros(&[batch, c, h, w]);
+        let dxv = dx.data_mut();
+        // Slot 0 still holds the forward's im2col matrices; slot 1 stages
+        // one example's input-gradient columns before the col2im scatter.
+        let (cols, dcols) = self.scratch.get2(batch * ckk * ohow, ckk * ohow);
+        let wv = self.w.value.data();
+        let dwv = self.w.grad.data_mut();
+        let dbv = self.b.grad.data_mut();
+
+        // hot-kernel: begin (GEMM backward + col2im, alloc-free)
+        for bi in 0..batch {
+            let gb = &gout[bi * f * ohow..(bi + 1) * f * ohow];
+            let cb = &cols[bi * ckk * ohow..(bi + 1) * ckk * ohow];
+            // dw += g · colsᵀ
+            kernels::gemm(dwv, true, gb, false, cb, true, f, ohow, ckk);
+            // db += row sums of g
+            for fi in 0..f {
+                let mut acc = 0.0;
+                for &g in &gb[fi * ohow..(fi + 1) * ohow] {
+                    acc += g;
+                }
+                dbv[fi] += acc;
+            }
+            // dcols = Wᵀ · g, scattered back into dx
+            kernels::gemm(dcols, false, wv, true, gb, false, ckk, f, ohow);
+            let dxb = &mut dxv[bi * c * h * w..(bi + 1) * c * h * w];
+            kernels::col2im2d(dcols, c, h, w, k, s, oh, ow, dxb);
+        }
+        // hot-kernel: end
+
+        dx
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
@@ -179,6 +163,10 @@ impl Layer for Conv2D {
         let (oh, ow) = self.out_hw(input_shape[2], input_shape[3]);
         // 2 flops per MAC over every output element's receptive field.
         (2 * self.filters * self.in_ch * self.k * self.k * oh * ow) as u64
+    }
+
+    fn scratch_bytes(&self) -> usize {
+        self.scratch.bytes()
     }
 
     fn name(&self) -> String {
@@ -261,5 +249,21 @@ mod tests {
         let mut rng = rng_from_seed(6);
         let mut conv = Conv2D::new(1, 1, 5, 1, &mut rng);
         let _ = conv.forward(&Tensor::zeros(&[1, 1, 3, 3]), false);
+    }
+
+    #[test]
+    fn scratch_is_stable_across_steps() {
+        let mut rng = rng_from_seed(7);
+        let mut conv = Conv2D::new(2, 4, 3, 2, &mut rng);
+        let x = Tensor::randn(&[3, 2, 9, 9], 1.0, &mut rng);
+        let y = conv.forward(&x, true);
+        let _ = conv.backward(&y);
+        let bytes = conv.scratch_bytes();
+        assert!(bytes > 0, "conv scratch should hold im2col buffers");
+        for _ in 0..3 {
+            let y = conv.forward(&x, true);
+            let _ = conv.backward(&y);
+            assert_eq!(conv.scratch_bytes(), bytes, "steady-state must not grow");
+        }
     }
 }

@@ -1,10 +1,18 @@
 //! 3-D convolution over image sequences, for the DonkeyCar "3D" model.
+//!
+//! Lowered onto the blocked GEMM in [`crate::kernels`] exactly like
+//! [`Conv2D`](super::conv2d::Conv2D), with the kernel's temporal extent
+//! folded into the im2col row index: per example the `[c, t, h, w]` volume
+//! unrolls into a `[c*kt*k*k, ot*oh*ow]` column matrix, and forward /
+//! `dw` / `dx` are one GEMM each (plus the col2im scatter for `dx`). The
+//! column matrices live in the layer's [`Scratch`] arena and double as the
+//! backward cache.
 
 use super::{Layer, Param};
 use crate::init::glorot_uniform;
+use crate::kernels::{self, Scratch};
 use crate::tensor::Tensor;
 use rand::Rng;
-use rayon::prelude::*;
 
 /// Convolution over `[batch, in_ch, T, H, W]` with kernel
 /// `[filters, in_ch, kt, k, k]`, stride `(st, s, s)`, valid padding.
@@ -17,7 +25,8 @@ pub struct Conv3D {
     k: usize,
     st: usize,
     s: usize,
-    cache_x: Option<Tensor>,
+    scratch: Scratch,
+    cache_in_shape: Option<[usize; 5]>,
 }
 
 impl Conv3D {
@@ -47,7 +56,8 @@ impl Conv3D {
             k,
             st,
             s,
-            cache_x: None,
+            scratch: Scratch::new(),
+            cache_in_shape: None,
         }
     }
 
@@ -80,119 +90,72 @@ impl Layer for Conv3D {
         assert_eq!(c, self.in_ch);
         let (ot, oh, ow) = self.out_dims(t, h, w);
         let (f, kt, k, st, s) = (self.filters, self.kt, self.k, self.st, self.s);
+        let (ckk, osp) = (c * kt * k * k, ot * oh * ow);
 
         let xin = x.data();
+        crate::tensor::debug_check_finite("Conv3D input", xin);
+        crate::tensor::debug_check_finite("Conv3D weights", self.w.value.data());
+
+        let mut out = Tensor::zeros(&[batch, f, ot, oh, ow]);
+        let ov = out.data_mut();
+        let cols = self.scratch.get1(batch * ckk * osp);
         let wv = self.w.value.data();
         let bv = self.b.value.data();
-        let mut out = vec![0.0f32; batch * f * ot * oh * ow];
 
-        out.par_chunks_mut(f * ot * oh * ow)
-            .enumerate()
-            .for_each(|(bi, ob)| {
-                let xb = &xin[bi * c * t * h * w..(bi + 1) * c * t * h * w];
-                for fi in 0..f {
-                    let wf = &wv[fi * c * kt * k * k..(fi + 1) * c * kt * k * k];
-                    let bias = bv[fi];
-                    for oz in 0..ot {
-                        for oy in 0..oh {
-                            for ox in 0..ow {
-                                let mut acc = bias;
-                                for ci in 0..c {
-                                    for kz in 0..kt {
-                                        let zoff = ci * t * h * w + (oz * st + kz) * h * w;
-                                        let woff = ci * kt * k * k + kz * k * k;
-                                        for ky in 0..k {
-                                            let row = zoff + (oy * s + ky) * w + ox * s;
-                                            for kx in 0..k {
-                                                acc += xb[row + kx] * wf[woff + ky * k + kx];
-                                            }
-                                        }
-                                    }
-                                }
-                                ob[fi * ot * oh * ow + oz * oh * ow + oy * ow + ox] = acc;
-                            }
-                        }
-                    }
-                }
-            });
-
-        self.cache_x = Some(x.clone());
-        Tensor::from_vec(&[batch, f, ot, oh, ow], out)
-    }
-
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let x = self.cache_x.as_ref().expect("backward before forward");
-        let (batch, c, t, h, w) = (
-            x.shape()[0],
-            x.shape()[1],
-            x.shape()[2],
-            x.shape()[3],
-            x.shape()[4],
-        );
-        let (f, kt, k, st, s) = (self.filters, self.kt, self.k, self.st, self.s);
-        let (ot, oh, ow) = self.out_dims(t, h, w);
-
-        let xin = x.data();
-        let gout = grad_out.data();
-        let wv = self.w.value.data();
-        let wlen = f * c * kt * k * k;
-
-        let partials: Vec<(Vec<f32>, Vec<f32>, Vec<f32>)> = (0..batch)
-            .into_par_iter()
-            .map(|bi| {
-                let xb = &xin[bi * c * t * h * w..(bi + 1) * c * t * h * w];
-                let gb = &gout[bi * f * ot * oh * ow..(bi + 1) * f * ot * oh * ow];
-                let mut dxb = vec![0.0f32; c * t * h * w];
-                let mut dwb = vec![0.0f32; wlen];
-                let mut dbb = vec![0.0f32; f];
-                for fi in 0..f {
-                    let gf = &gb[fi * ot * oh * ow..(fi + 1) * ot * oh * ow];
-                    let wf = &wv[fi * c * kt * k * k..(fi + 1) * c * kt * k * k];
-                    let dwf = &mut dwb[fi * c * kt * k * k..(fi + 1) * c * kt * k * k];
-                    for oz in 0..ot {
-                        for oy in 0..oh {
-                            for ox in 0..ow {
-                                let g = gf[oz * oh * ow + oy * ow + ox];
-                                if g == 0.0 {
-                                    continue;
-                                }
-                                dbb[fi] += g;
-                                for ci in 0..c {
-                                    for kz in 0..kt {
-                                        let zoff = ci * t * h * w + (oz * st + kz) * h * w;
-                                        let woff = ci * kt * k * k + kz * k * k;
-                                        for ky in 0..k {
-                                            let row = zoff + (oy * s + ky) * w + ox * s;
-                                            for kx in 0..k {
-                                                dwf[woff + ky * k + kx] += g * xb[row + kx];
-                                                dxb[row + kx] += g * wf[woff + ky * k + kx];
-                                            }
-                                        }
-                                    }
-                                }
-                            }
-                        }
-                    }
-                }
-                (dxb, dwb, dbb)
-            })
-            .collect();
-
-        let mut dx = vec![0.0f32; batch * c * t * h * w];
-        {
-            let dwg = self.w.grad.data_mut();
-            let dbg = self.b.grad.data_mut();
-            for (bi, (dxb, dwb, dbb)) in partials.into_iter().enumerate() {
-                dx[bi * c * t * h * w..(bi + 1) * c * t * h * w].copy_from_slice(&dxb);
-                for (a, b) in dwg.iter_mut().zip(&dwb) {
-                    *a += b;
-                }
-                for (a, b) in dbg.iter_mut().zip(&dbb) {
-                    *a += b;
+        // hot-kernel: begin (3-D im2col + GEMM forward, alloc-free)
+        for bi in 0..batch {
+            let xb = &xin[bi * c * t * h * w..(bi + 1) * c * t * h * w];
+            let cb = &mut cols[bi * ckk * osp..(bi + 1) * ckk * osp];
+            kernels::im2col3d(xb, c, t, h, w, kt, k, st, s, ot, oh, ow, cb);
+            let ob = &mut ov[bi * f * osp..(bi + 1) * f * osp];
+            kernels::gemm(ob, false, wv, false, cb, false, f, ckk, osp);
+            for fi in 0..f {
+                let bias = bv[fi];
+                for o in &mut ob[fi * osp..(fi + 1) * osp] {
+                    *o += bias;
                 }
             }
         }
-        Tensor::from_vec(&[batch, c, t, h, w], dx)
+        // hot-kernel: end
+
+        self.cache_in_shape = Some([batch, c, t, h, w]);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let [batch, c, t, h, w] = self.cache_in_shape.expect("backward before forward");
+        let (f, kt, k, st, s) = (self.filters, self.kt, self.k, self.st, self.s);
+        let (ot, oh, ow) = self.out_dims(t, h, w);
+        let (ckk, osp) = (c * kt * k * k, ot * oh * ow);
+        assert_eq!(grad_out.shape(), &[batch, f, ot, oh, ow]);
+
+        let gout = grad_out.data();
+        let mut dx = Tensor::zeros(&[batch, c, t, h, w]);
+        let dxv = dx.data_mut();
+        let (cols, dcols) = self.scratch.get2(batch * ckk * osp, ckk * osp);
+        let wv = self.w.value.data();
+        let dwv = self.w.grad.data_mut();
+        let dbv = self.b.grad.data_mut();
+
+        // hot-kernel: begin (3-D GEMM backward + col2im, alloc-free)
+        for bi in 0..batch {
+            let gb = &gout[bi * f * osp..(bi + 1) * f * osp];
+            let cb = &cols[bi * ckk * osp..(bi + 1) * ckk * osp];
+            kernels::gemm(dwv, true, gb, false, cb, true, f, osp, ckk);
+            for fi in 0..f {
+                let mut acc = 0.0;
+                for &g in &gb[fi * osp..(fi + 1) * osp] {
+                    acc += g;
+                }
+                dbv[fi] += acc;
+            }
+            kernels::gemm(dcols, false, wv, true, gb, false, ckk, f, osp);
+            let dxb = &mut dxv[bi * c * t * h * w..(bi + 1) * c * t * h * w];
+            kernels::col2im3d(dcols, c, t, h, w, kt, k, st, s, ot, oh, ow, dxb);
+        }
+        // hot-kernel: end
+
+        dx
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
@@ -207,6 +170,10 @@ impl Layer for Conv3D {
     fn flops_per_example(&self, input_shape: &[usize]) -> u64 {
         let (ot, oh, ow) = self.out_dims(input_shape[2], input_shape[3], input_shape[4]);
         (2 * self.filters * self.in_ch * self.kt * self.k * self.k * ot * oh * ow) as u64
+    }
+
+    fn scratch_bytes(&self) -> usize {
+        self.scratch.bytes()
     }
 
     fn name(&self) -> String {
@@ -261,5 +228,21 @@ mod tests {
         let x = Tensor::randn(&[2, 1, 3, 4, 4], 1.0, &mut rng);
         gradcheck::check_input_grad(&mut conv, &x, 4e-2);
         gradcheck::check_param_grads(&mut conv, &x, 4e-2);
+    }
+
+    #[test]
+    fn scratch_is_stable_across_steps() {
+        let mut rng = rng_from_seed(4);
+        let mut conv = Conv3D::new(1, 2, 2, 3, 1, 2, &mut rng);
+        let x = Tensor::randn(&[2, 1, 4, 9, 9], 1.0, &mut rng);
+        let y = conv.forward(&x, true);
+        let _ = conv.backward(&y);
+        let bytes = conv.scratch_bytes();
+        assert!(bytes > 0);
+        for _ in 0..3 {
+            let y = conv.forward(&x, true);
+            let _ = conv.backward(&y);
+            assert_eq!(conv.scratch_bytes(), bytes, "steady-state must not grow");
+        }
     }
 }

@@ -38,32 +38,71 @@ impl Layer for Dense {
     fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
         assert_eq!(x.rank(), 2, "Dense expects [batch, features]");
         assert_eq!(x.shape()[1], self.in_dim, "Dense input width");
-        let mut y = x.matmul(&self.w.value);
-        // Broadcast-add bias.
+        let batch = x.shape()[0];
+        let mut y = Tensor::zeros(&[batch, self.out_dim]);
+        // The backward cache reuses its buffer: allocated on the first
+        // forward, a plain copy every step after.
+        match &mut self.cache_x {
+            Some(c) => c.copy_from(x),
+            None => self.cache_x = Some(x.clone()),
+        }
         let b = self.b.value.data();
+        // hot-kernel: begin (dense forward GEMM + bias, alloc-free)
+        crate::kernels::matmul_into(
+            y.data_mut(),
+            x.data(),
+            self.w.value.data(),
+            batch,
+            self.in_dim,
+            self.out_dim,
+        );
         for row in y.data_mut().chunks_mut(self.out_dim) {
             for (v, &bb) in row.iter_mut().zip(b) {
                 *v += bb;
             }
         }
-        self.cache_x = Some(x.clone());
+        // hot-kernel: end
         y
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let x = self.cache_x.as_ref().expect("backward before forward");
-        // dW = x^T · dY
-        let dw = x.transpose2().matmul(grad_out);
-        self.w.grad.add_scaled(&dw, 1.0);
-        // db = column sums of dY
+        let batch = x.shape()[0];
+        let mut dx = Tensor::zeros(&[batch, self.in_dim]);
+        // hot-kernel: begin (dense backward GEMMs, alloc-free)
+        // dW += xᵀ · dY, accumulated straight into the grad buffer.
+        crate::kernels::gemm(
+            self.w.grad.data_mut(),
+            true,
+            x.data(),
+            true,
+            grad_out.data(),
+            false,
+            self.in_dim,
+            batch,
+            self.out_dim,
+        );
+        // db += column sums of dY
         let db = self.b.grad.data_mut();
         for row in grad_out.data().chunks(self.out_dim) {
             for (g, &r) in db.iter_mut().zip(row) {
                 *g += r;
             }
         }
-        // dX = dY · W^T
-        grad_out.matmul(&self.w.value.transpose2())
+        // dX = dY · Wᵀ
+        crate::kernels::gemm(
+            dx.data_mut(),
+            false,
+            grad_out.data(),
+            false,
+            self.w.value.data(),
+            true,
+            batch,
+            self.out_dim,
+            self.in_dim,
+        );
+        // hot-kernel: end
+        dx
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
@@ -77,6 +116,12 @@ impl Layer for Dense {
     fn flops_per_example(&self, _input_shape: &[usize]) -> u64 {
         // multiply-accumulate = 2 flops, plus bias add.
         (2 * self.in_dim * self.out_dim + self.out_dim) as u64
+    }
+
+    fn scratch_bytes(&self) -> usize {
+        self.cache_x
+            .as_ref()
+            .map_or(0, |c| c.len() * std::mem::size_of::<f32>())
     }
 
     fn name(&self) -> String {

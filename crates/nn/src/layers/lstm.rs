@@ -5,21 +5,49 @@
 //! hidden state drives the steering/throttle heads. This layer consumes
 //! `[batch, time, features]` and returns the last hidden state
 //! `[batch, hidden]`, with full backpropagation-through-time.
+//!
+//! All gate math runs through the blocked GEMM in [`crate::kernels`]: the
+//! pre-activation `z = x·W + h·U + b` is two GEMM calls per step, and the
+//! BPTT parameter/input/recurrent gradients are one accumulating GEMM each.
+//! Step caches and staging buffers are plain `Vec<f32>`s reused across
+//! steps and across calls, so steady-state training allocates nothing here.
 
 use super::{Layer, Param};
 use crate::init::{glorot_uniform, recurrent_init};
+use crate::kernels::{self, Scratch};
 use crate::tensor::Tensor;
 use rand::Rng;
 
+/// Per-timestep cache, with buffers reused across forward calls (resize is
+/// capacity-preserving, so a steady batch shape never reallocates).
+#[derive(Default)]
 struct StepCache {
-    x: Tensor,      // [B, F]
-    h_prev: Tensor, // [B, H]
-    c_prev: Tensor, // [B, H]
+    x: Vec<f32>,      // [B, F]
+    h_prev: Vec<f32>, // [B, H]
+    c_prev: Vec<f32>, // [B, H]
     i: Vec<f32>,
     f: Vec<f32>,
     g: Vec<f32>,
     o: Vec<f32>,
     tanh_c: Vec<f32>,
+}
+
+impl StepCache {
+    fn resize(&mut self, bf: usize, bh: usize) {
+        self.x.resize(bf, 0.0);
+        self.h_prev.resize(bh, 0.0);
+        self.c_prev.resize(bh, 0.0);
+        self.i.resize(bh, 0.0);
+        self.f.resize(bh, 0.0);
+        self.g.resize(bh, 0.0);
+        self.o.resize(bh, 0.0);
+        self.tanh_c.resize(bh, 0.0);
+    }
+
+    fn bytes(&self) -> usize {
+        (self.x.len() + self.h_prev.len() + self.c_prev.len() + 5 * self.i.len())
+            * std::mem::size_of::<f32>()
+    }
 }
 
 /// Single-layer LSTM, Keras gate order (i, f, g, o), returning the final
@@ -31,6 +59,8 @@ pub struct Lstm {
     in_dim: usize,
     hidden: usize,
     cache: Vec<StepCache>,
+    cache_steps: usize,
+    scratch: Scratch,
 }
 
 impl Lstm {
@@ -52,6 +82,8 @@ impl Lstm {
             in_dim,
             hidden,
             cache: Vec::new(),
+            cache_steps: 0,
+            scratch: Scratch::new(),
         }
     }
 
@@ -72,106 +104,112 @@ impl Layer for Lstm {
         assert_eq!(feat, self.in_dim, "Lstm feature width");
         let h = self.hidden;
 
-        self.cache.clear();
-        let mut h_t = Tensor::zeros(&[batch, h]);
-        let mut c_t = Tensor::zeros(&[batch, h]);
+        // Pre-size every reused buffer before the hot loop: the step-cache
+        // list grows only on the first call (or a longer sequence).
+        while self.cache.len() < time {
+            self.cache.push(StepCache::default());
+        }
+        for sc in self.cache.iter_mut().take(time) {
+            sc.resize(batch * feat, batch * h);
+        }
+        self.cache_steps = time;
+        let mut out = Tensor::zeros(&[batch, h]);
+        let (z, h_t, c_t) = self.scratch.get3(batch * 4 * h, batch * h, batch * h);
+        h_t.fill(0.0);
+        c_t.fill(0.0);
+        let xin = x.data();
+        let wv = self.w.value.data();
+        let uv = self.u.value.data();
+        let bv = self.b.value.data();
 
-        for t in 0..time {
-            // Slice x[:, t, :] -> [B, F].
-            let mut xt = Tensor::zeros(&[batch, feat]);
+        // hot-kernel: begin (LSTM forward GEMMs + gate math, alloc-free)
+        for (t, sc) in self.cache.iter_mut().take(time).enumerate() {
+            // Stage x[:, t, :] contiguously for the GEMM.
             for bi in 0..batch {
-                let src = &x.data()[(bi * time + t) * feat..(bi * time + t + 1) * feat];
-                xt.data_mut()[bi * feat..(bi + 1) * feat].copy_from_slice(src);
+                let src = &xin[(bi * time + t) * feat..(bi * time + t + 1) * feat];
+                sc.x[bi * feat..(bi + 1) * feat].copy_from_slice(src);
             }
-
-            let z = {
-                let mut z = xt.matmul(&self.w.value);
-                let zr = h_t.matmul(&self.u.value);
-                z.add_scaled(&zr, 1.0);
-                let bv = self.b.value.data();
-                for row in z.data_mut().chunks_mut(4 * h) {
-                    for (v, &bb) in row.iter_mut().zip(bv) {
-                        *v += bb;
-                    }
+            sc.h_prev.copy_from_slice(h_t);
+            sc.c_prev.copy_from_slice(c_t);
+            // z = x_t · W + h_{t-1} · U + b
+            kernels::gemm(z, false, &sc.x, false, wv, false, batch, feat, 4 * h);
+            kernels::gemm(z, true, &sc.h_prev, false, uv, false, batch, h, 4 * h);
+            for row in z.chunks_mut(4 * h) {
+                for (v, &bb) in row.iter_mut().zip(bv) {
+                    *v += bb;
                 }
-                z
-            };
-
-            let mut iv = vec![0.0f32; batch * h];
-            let mut fv = vec![0.0f32; batch * h];
-            let mut gv = vec![0.0f32; batch * h];
-            let mut ov = vec![0.0f32; batch * h];
-            let mut c_next = Tensor::zeros(&[batch, h]);
-            let mut h_next = Tensor::zeros(&[batch, h]);
-            let mut tanh_c = vec![0.0f32; batch * h];
+            }
             for bi in 0..batch {
-                let zr = &z.data()[bi * 4 * h..(bi + 1) * 4 * h];
+                let zr = &z[bi * 4 * h..(bi + 1) * 4 * h];
                 for j in 0..h {
+                    let idx = bi * h + j;
                     let i_g = sigmoid(zr[j]);
                     let f_g = sigmoid(zr[h + j]);
                     let g_g = zr[2 * h + j].tanh();
                     let o_g = sigmoid(zr[3 * h + j]);
-                    let c_new = f_g * c_t.data()[bi * h + j] + i_g * g_g;
+                    let c_new = f_g * c_t[idx] + i_g * g_g;
                     let tc = c_new.tanh();
-                    iv[bi * h + j] = i_g;
-                    fv[bi * h + j] = f_g;
-                    gv[bi * h + j] = g_g;
-                    ov[bi * h + j] = o_g;
-                    tanh_c[bi * h + j] = tc;
-                    c_next.data_mut()[bi * h + j] = c_new;
-                    h_next.data_mut()[bi * h + j] = o_g * tc;
+                    sc.i[idx] = i_g;
+                    sc.f[idx] = f_g;
+                    sc.g[idx] = g_g;
+                    sc.o[idx] = o_g;
+                    sc.tanh_c[idx] = tc;
+                    c_t[idx] = c_new;
+                    h_t[idx] = o_g * tc;
                 }
             }
-
-            self.cache.push(StepCache {
-                x: xt,
-                h_prev: h_t.clone(),
-                c_prev: c_t.clone(),
-                i: iv,
-                f: fv,
-                g: gv,
-                o: ov,
-                tanh_c,
-            });
-            h_t = h_next;
-            c_t = c_next;
         }
-        h_t
+        // hot-kernel: end
+
+        out.data_mut().copy_from_slice(h_t);
+        out
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let time = self.cache.len();
+        let time = self.cache_steps;
         assert!(time > 0, "backward before forward");
         let batch = grad_out.shape()[0];
         let h = self.hidden;
         let f_dim = self.in_dim;
 
-        let mut dh = grad_out.clone(); // [B, H]
-        let mut dc = Tensor::zeros(&[batch, h]);
         let mut dx_all = Tensor::zeros(&[batch, time, f_dim]);
+        let dxv = dx_all.data_mut();
+        let (dz, dh, dc, dxt) = self.scratch.get4(
+            batch * 4 * h,
+            batch * h,
+            batch * h,
+            batch * f_dim,
+        );
+        dh.copy_from_slice(grad_out.data());
+        dc.fill(0.0);
+        let wv = self.w.value.data();
+        let uv = self.u.value.data();
+        let dwv = self.w.grad.data_mut();
+        let duv = self.u.grad.data_mut();
+        let dbv = self.b.grad.data_mut();
 
+        // hot-kernel: begin (BPTT gate math + GEMMs, alloc-free)
         for t in (0..time).rev() {
-            let cache = &self.cache[t];
-            let mut dz = Tensor::zeros(&[batch, 4 * h]);
+            let sc = &self.cache[t];
             for bi in 0..batch {
+                let zr = &mut dz[bi * 4 * h..(bi + 1) * 4 * h];
                 for j in 0..h {
                     let idx = bi * h + j;
-                    let i_g = cache.i[idx];
-                    let f_g = cache.f[idx];
-                    let g_g = cache.g[idx];
-                    let o_g = cache.o[idx];
-                    let tc = cache.tanh_c[idx];
-                    let dh_v = dh.data()[idx];
+                    let i_g = sc.i[idx];
+                    let f_g = sc.f[idx];
+                    let g_g = sc.g[idx];
+                    let o_g = sc.o[idx];
+                    let tc = sc.tanh_c[idx];
+                    let dh_v = dh[idx];
 
                     let do_ = dh_v * tc;
-                    let dc_total = dc.data()[idx] + dh_v * o_g * (1.0 - tc * tc);
+                    let dc_total = dc[idx] + dh_v * o_g * (1.0 - tc * tc);
                     let di = dc_total * g_g;
                     let dg = dc_total * i_g;
-                    let df = dc_total * cache.c_prev.data()[idx];
+                    let df = dc_total * sc.c_prev[idx];
                     // Carry cell grad to t-1.
-                    dc.data_mut()[idx] = dc_total * f_g;
+                    dc[idx] = dc_total * f_g;
 
-                    let zr = &mut dz.data_mut()[bi * 4 * h..(bi + 1) * 4 * h];
                     zr[j] = di * i_g * (1.0 - i_g);
                     zr[h + j] = df * f_g * (1.0 - f_g);
                     zr[2 * h + j] = dg * (1.0 - g_g * g_g);
@@ -179,31 +217,27 @@ impl Layer for Lstm {
                 }
             }
 
-            // Parameter gradients.
-            let dw = cache.x.transpose2().matmul(&dz);
-            self.w.grad.add_scaled(&dw, 1.0);
-            let du = cache.h_prev.transpose2().matmul(&dz);
-            self.u.grad.add_scaled(&du, 1.0);
-            {
-                let db = self.b.grad.data_mut();
-                for row in dz.data().chunks(4 * h) {
-                    for (a, &g) in db.iter_mut().zip(row) {
-                        *a += g;
-                    }
+            // dW += x_tᵀ · dz, dU += h_{t-1}ᵀ · dz, db += column sums.
+            kernels::gemm(dwv, true, &sc.x, true, dz, false, f_dim, batch, 4 * h);
+            kernels::gemm(duv, true, &sc.h_prev, true, dz, false, h, batch, 4 * h);
+            for row in dz.chunks(4 * h) {
+                for (a, &g) in dbv.iter_mut().zip(row) {
+                    *a += g;
                 }
             }
 
-            // Input gradient for this timestep.
-            let dxt = dz.matmul(&self.w.value.transpose2());
+            // Input gradient for this timestep: dx_t = dz · Wᵀ.
+            kernels::gemm(dxt, false, dz, false, wv, true, batch, 4 * h, f_dim);
             for bi in 0..batch {
-                let dst = &mut dx_all.data_mut()
-                    [(bi * time + t) * f_dim..(bi * time + t + 1) * f_dim];
-                dst.copy_from_slice(&dxt.data()[bi * f_dim..(bi + 1) * f_dim]);
+                let dst = &mut dxv[(bi * time + t) * f_dim..(bi * time + t + 1) * f_dim];
+                dst.copy_from_slice(&dxt[bi * f_dim..(bi + 1) * f_dim]);
             }
 
-            // Recurrent gradient to t-1's hidden state.
-            dh = dz.matmul(&self.u.value.transpose2());
+            // Recurrent gradient to t-1's hidden state: dh = dz · Uᵀ.
+            kernels::gemm(dh, false, dz, false, uv, true, batch, 4 * h, h);
         }
+        // hot-kernel: end
+
         dx_all
     }
 
@@ -221,6 +255,10 @@ impl Layer for Lstm {
         let h = self.hidden as u64;
         // Per step: x·W (2·F·4H) + h·U (2·H·4H) + gate math (~10·H).
         t * (2 * f * 4 * h + 2 * h * 4 * h + 10 * h)
+    }
+
+    fn scratch_bytes(&self) -> usize {
+        self.scratch.bytes() + self.cache.iter().map(StepCache::bytes).sum::<usize>()
     }
 
     fn name(&self) -> String {
@@ -286,5 +324,21 @@ mod tests {
             assert_eq!(lstm.b.value.data()[j], 1.0);
         }
         assert_eq!(lstm.b.value.data()[0], 0.0);
+    }
+
+    #[test]
+    fn scratch_is_stable_across_steps() {
+        let mut rng = rng_from_seed(5);
+        let mut lstm = Lstm::new(4, 3, &mut rng);
+        let x = Tensor::randn(&[2, 4, 4], 1.0, &mut rng);
+        let y = lstm.forward(&x, true);
+        let _ = lstm.backward(&y);
+        let bytes = lstm.scratch_bytes();
+        assert!(bytes > 0);
+        for _ in 0..3 {
+            let y = lstm.forward(&x, true);
+            let _ = lstm.backward(&y);
+            assert_eq!(lstm.scratch_bytes(), bytes, "steady-state must not grow");
+        }
     }
 }

@@ -84,6 +84,14 @@ pub trait Layer: Send {
         self.params_mut().iter().map(|p| p.value.len()).sum()
     }
 
+    /// Bytes of reusable scratch storage (im2col buffers, activation
+    /// caches, gradient staging) this layer currently holds. Scratch is
+    /// grow-only and keyed by batch shape, so in steady-state training the
+    /// value is constant — the arena-reuse tests pin exactly that.
+    fn scratch_bytes(&self) -> usize {
+        0
+    }
+
     /// Symbolic description of this layer for the static graph validator
     /// ([`autolearn_analyze::graph::validate_model`]).
     fn spec(&self) -> LayerSpec;

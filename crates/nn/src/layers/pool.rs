@@ -8,8 +8,11 @@ use crate::tensor::Tensor;
 pub struct MaxPool2D {
     k: usize,
     /// Flat input index of each output element's argmax, for backward.
-    cache_argmax: Option<Vec<usize>>,
+    /// Reused across forwards (resize keeps capacity); `seen_forward`
+    /// distinguishes a legitimate empty cache from backward-before-forward.
+    cache_argmax: Vec<usize>,
     cache_in_shape: Vec<usize>,
+    seen_forward: bool,
 }
 
 impl MaxPool2D {
@@ -17,8 +20,9 @@ impl MaxPool2D {
         assert!(k >= 1);
         MaxPool2D {
             k,
-            cache_argmax: None,
+            cache_argmax: Vec::new(),
             cache_in_shape: Vec::new(),
+            seen_forward: false,
         }
     }
 
@@ -36,8 +40,11 @@ impl Layer for MaxPool2D {
         let k = self.k;
 
         let xin = x.data();
-        let mut out = vec![0.0f32; batch * c * oh * ow];
-        let mut arg = vec![0usize; batch * c * oh * ow];
+        let mut out_t = Tensor::zeros(&[batch, c, oh, ow]);
+        let out = out_t.data_mut();
+        self.cache_argmax.resize(batch * c * oh * ow, 0);
+        let arg = &mut self.cache_argmax;
+        // hot-kernel: begin (max-pool sweep, alloc-free)
         for bi in 0..batch {
             for ci in 0..c {
                 let base = (bi * c + ci) * h * w;
@@ -61,16 +68,18 @@ impl Layer for MaxPool2D {
                 }
             }
         }
-        self.cache_argmax = Some(arg);
-        self.cache_in_shape = x.shape().to_vec();
-        Tensor::from_vec(&[batch, c, oh, ow], out)
+        // hot-kernel: end
+        self.cache_in_shape.clear();
+        self.cache_in_shape.extend_from_slice(x.shape());
+        self.seen_forward = true;
+        out_t
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let arg = self.cache_argmax.as_ref().expect("backward before forward");
+        assert!(self.seen_forward, "backward before forward");
         let mut dx = Tensor::zeros(&self.cache_in_shape);
         let d = dx.data_mut();
-        for (g, &i) in grad_out.data().iter().zip(arg) {
+        for (g, &i) in grad_out.data().iter().zip(&self.cache_argmax) {
             d[i] += g;
         }
         dx
@@ -84,6 +93,10 @@ impl Layer for MaxPool2D {
     fn flops_per_example(&self, input_shape: &[usize]) -> u64 {
         // One comparison per input element in each window.
         input_shape[1..].iter().product::<usize>() as u64
+    }
+
+    fn scratch_bytes(&self) -> usize {
+        self.cache_argmax.len() * std::mem::size_of::<usize>()
     }
 
     fn name(&self) -> String {

@@ -64,6 +64,10 @@ impl Layer for TimeDistributed {
         input_shape[1] as u64 * self.inner.flops_per_example(&merged)
     }
 
+    fn scratch_bytes(&self) -> usize {
+        self.inner.scratch_bytes()
+    }
+
     fn name(&self) -> String {
         format!("TimeDistributed({})", self.inner.name())
     }

@@ -5,7 +5,9 @@
 //! no TensorFlow available, this crate reimplements the necessary subset
 //! from scratch:
 //!
-//! * a dense `f32` [`Tensor`] with rayon-parallel matmul/conv kernels,
+//! * a dense `f32` [`Tensor`] whose matmul/conv paths all lower onto one
+//!   blocked, panel-packed GEMM primitive ([`kernels`]), with the naive
+//!   loops kept in [`kernels::reference`] as the correctness oracle,
 //! * layers with hand-written backward passes (`Dense`, `Conv2D`, `Conv3D`,
 //!   `MaxPool2D`, `Flatten`, `Dropout`, `BatchNorm1d`, activations, `Lstm`,
 //!   `TimeDistributed`),
@@ -22,6 +24,9 @@
 
 pub mod data;
 pub mod init;
+/// Blocked panel-packed GEMM, im2col lowering, and the per-layer scratch
+/// arena — the numeric core every layer's forward/backward routes through.
+pub mod kernels;
 pub mod layers;
 pub mod loss;
 pub mod models;

@@ -181,18 +181,30 @@ impl CarModel {
         }
     }
 
+    /// Total bytes of reusable kernel scratch (im2col buffers, activation
+    /// caches, LSTM step state) currently held across trunk, merge and
+    /// heads. Constant across steady-state training steps — the trainer
+    /// test pins that no per-step reallocation happens.
+    pub fn scratch_bytes(&self) -> usize {
+        self.trunk.scratch_bytes()
+            + self.merge.as_ref().map_or(0, |m| m.scratch_bytes())
+            + self.head_s.scratch_bytes()
+            + self.head_t.as_ref().map_or(0, |t| t.scratch_bytes())
+    }
+
     /// Forward pass to the shared feature vector, handling the Memory
     /// concat. Returns features `[B, feat]`.
     fn features(&mut self, inputs: &[Tensor], train: bool) -> Tensor {
         let img = &inputs[0];
         // The RNN wants [B, T, C, H, W]; ThreeD wants [B, C, T, H, W].
         // Sequence datasets provide [B, T, C, H, W]; transpose for ThreeD.
-        let img = if self.kind == ModelKind::ThreeD {
-            transpose_time_channel(img)
+        // Other kinds feed the input straight through — no copy.
+        let feat = if self.kind == ModelKind::ThreeD {
+            let img = transpose_time_channel(img);
+            self.trunk.forward(&img, train)
         } else {
-            img.clone()
+            self.trunk.forward(img, train)
         };
-        let feat = self.trunk.forward(&img, train);
         match (&mut self.merge, inputs.get(1)) {
             (Some(merge), Some(hist)) => {
                 let joined = concat_cols(&feat, hist);

@@ -53,16 +53,26 @@ impl Default for Sequential {
 
 impl Layer for Sequential {
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
-        let mut cur = x.clone();
-        for layer in &mut self.layers {
+        // First layer reads `x` directly (no entry clone); later layers
+        // consume the previous layer's owned output.
+        let mut iter = self.layers.iter_mut();
+        let mut cur = match iter.next() {
+            Some(first) => first.forward(x, train),
+            None => return x.clone(),
+        };
+        for layer in iter {
             cur = layer.forward(&cur, train);
         }
         cur
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let mut cur = grad_out.clone();
-        for layer in self.layers.iter_mut().rev() {
+        let mut iter = self.layers.iter_mut().rev();
+        let mut cur = match iter.next() {
+            Some(last) => last.backward(grad_out),
+            None => return grad_out.clone(),
+        };
+        for layer in iter {
             cur = layer.backward(&cur);
         }
         cur
@@ -91,6 +101,10 @@ impl Layer for Sequential {
             shape = layer.output_shape(&shape);
         }
         total
+    }
+
+    fn scratch_bytes(&self) -> usize {
+        self.layers.iter().map(|l| l.scratch_bytes()).sum()
     }
 
     fn name(&self) -> String {

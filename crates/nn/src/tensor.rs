@@ -233,15 +233,25 @@ impl Tensor {
                 let row = self.example(i);
                 row.iter()
                     .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .max_by(|a, b| a.1.total_cmp(b.1))
                     .map(|(j, _)| j)
                     .unwrap_or(0)
             })
             .collect()
     }
 
-    /// Matrix multiply `[m, k] x [k, n] -> [m, n]`, rayon-parallel over rows.
+    /// Matrix multiply `[m, k] x [k, n] -> [m, n]` through the blocked,
+    /// panel-packed GEMM in [`crate::kernels`].
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(&[self.shape[0], other.shape.get(1).copied().unwrap_or(0)]);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// Matrix multiply writing into caller-provided storage: `out = self ·
+    /// other`. `out` is resized (grow-only capacity) to `[m, n]`, so a
+    /// reused output tensor costs no allocation in steady state.
+    pub fn matmul_into(&self, other: &Tensor, out: &mut Tensor) {
         assert_eq!(self.rank(), 2, "matmul lhs must be rank 2");
         assert_eq!(other.rank(), 2, "matmul rhs must be rank 2");
         let (m, k) = (self.shape[0], self.shape[1]);
@@ -253,28 +263,27 @@ impl Tensor {
         debug_check_finite("matmul lhs", &self.data);
         debug_check_finite("matmul rhs", &other.data);
 
-        let mut out = vec![0.0f32; m * n];
-        let lhs = &self.data;
-        let rhs = &other.data;
-        // Parallelise over output rows; each row is an independent
-        // k-dot-n accumulation with a cache-friendly (i,k,j) loop order.
-        use rayon::prelude::*;
-        out.par_chunks_mut(n).enumerate().for_each(|(i, row)| {
-            for kk in 0..k {
-                let a = lhs[i * k + kk];
-                if a == 0.0 {
-                    continue;
-                }
-                let rrow = &rhs[kk * n..(kk + 1) * n];
-                for (o, &b) in row.iter_mut().zip(rrow) {
-                    *o += a * b;
-                }
-            }
-        });
-        Tensor {
-            shape: vec![m, n],
-            data: out,
-        }
+        out.resize_storage(&[m, n]);
+        crate::kernels::matmul_into(&mut out.data, &self.data, &other.data, m, k, n);
+    }
+
+    /// Re-shape in place, resizing the backing storage to match. Existing
+    /// capacity is kept when shrinking, so alternating between batch shapes
+    /// reuses the same allocation. New elements (if growing) are zeroed;
+    /// existing elements are preserved only as a flat prefix.
+    pub fn resize_storage(&mut self, shape: &[usize]) {
+        let n: usize = shape.iter().product();
+        self.shape.clear();
+        self.shape.extend_from_slice(shape);
+        self.data.resize(n, 0.0);
+    }
+
+    /// Overwrite this tensor with `src`'s shape and contents, reusing the
+    /// existing backing storage (grow-only). The borrow-free replacement
+    /// for `cache = Some(src.clone())` in layer forward passes.
+    pub fn copy_from(&mut self, src: &Tensor) {
+        self.resize_storage(&src.shape);
+        self.data.copy_from_slice(&src.data);
     }
 
     /// Transpose of a rank-2 tensor.
@@ -433,6 +442,40 @@ mod tests {
         let mut rng = rng_from_seed(8);
         let t = Tensor::uniform(&[1000], 0.5, &mut rng);
         assert!(t.data().iter().all(|&x| (-0.5..=0.5).contains(&x)));
+    }
+
+    #[test]
+    fn matmul_into_reuses_storage() {
+        let a = Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec(&[3, 2], vec![7., 8., 9., 10., 11., 12.]);
+        let mut out = Tensor::zeros(&[2, 2]);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out.data(), &[58., 64., 139., 154.]);
+        // Second call with the same shapes reuses the buffer and fully
+        // overwrites the previous product.
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn copy_from_tracks_shape_and_contents() {
+        let src = Tensor::from_vec(&[2, 2], vec![1., 2., 3., 4.]);
+        let mut dst = Tensor::zeros(&[8]);
+        dst.copy_from(&src);
+        assert_eq!(dst.shape(), &[2, 2]);
+        assert_eq!(dst.data(), src.data());
+        let smaller = Tensor::from_vec(&[2], vec![9., 9.]);
+        dst.copy_from(&smaller);
+        assert_eq!(dst.shape(), &[2]);
+        assert_eq!(dst.data(), &[9., 9.]);
+    }
+
+    #[test]
+    fn argmax_total_cmp_handles_nan_rows() {
+        let t = Tensor::from_vec(&[1, 3], vec![0.2, f32::NAN, 0.4]);
+        // total_cmp orders NaN above every finite float, so the NaN index
+        // wins deterministically instead of depending on scan order.
+        assert_eq!(t.argmax_per_example(), vec![1]);
     }
 
     #[test]

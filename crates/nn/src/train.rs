@@ -302,6 +302,31 @@ mod tests {
     }
 
     #[test]
+    fn scratch_arena_is_stable_across_epochs() {
+        // Steady-state training must not grow any layer's scratch arena:
+        // one epoch warms every (layer, batch-shape) buffer, after which
+        // the footprint is pinned.
+        let mut model = CarModel::build(ModelKind::Linear, &cfg());
+        let data = prepare_dataset(&dataset(40), model.input_spec());
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 1,
+            batch_size: 8,
+            patience: None,
+            ..Default::default()
+        });
+        trainer.fit(&mut model, &data).expect("graph validates");
+        let warm = model.scratch_bytes();
+        assert!(warm > 0, "conv/dense layers should report scratch");
+        trainer.fit(&mut model, &data).expect("graph validates");
+        trainer.fit(&mut model, &data).expect("graph validates");
+        assert_eq!(
+            model.scratch_bytes(),
+            warm,
+            "scratch must be allocated once per (layer, batch-shape)"
+        );
+    }
+
+    #[test]
     fn best_epoch_tracks_minimum() {
         let mut model = CarModel::build(ModelKind::Linear, &cfg());
         let data = prepare_dataset(&dataset(60), model.input_spec());

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Kernel benchmark snapshot: measures the optimized GEMM/im2col kernels
+# against the naive reference oracles at DonkeyCar shapes (batch 32,
+# 120x160 camera) and rewrites BENCH_kernels.json at the repo root.
+#
+#   scripts/bench.sh              full run, rewrites BENCH_kernels.json
+#   scripts/bench.sh --smoke      fast harness check, writes nothing
+#
+# Commit the refreshed BENCH_kernels.json alongside any kernel change so
+# the performance trajectory stays a reviewed artifact. The numbers are
+# single-core medians at the x86-64-v3 feature level pinned in
+# .cargo/config.toml.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -q -p autolearn-bench --bin kernel_bench
+./target/release/kernel_bench "$@"

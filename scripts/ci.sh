@@ -23,6 +23,12 @@ echo "== ci: static-analysis gate =="
 scripts/analyze.sh || status=$?
 
 echo
+echo "== ci: kernel bench smoke =="
+# One fast iteration at shrunken shapes: proves the benchmark harness and
+# the optimized-vs-reference kernel pairing still run; writes no snapshot.
+scripts/bench.sh --smoke || status=$?
+
+echo
 echo "== ci: analyzer baseline ratchet =="
 # Fails on any finding count above the committed snapshot; when counts
 # shrink, the snapshot is rewritten in place — commit the updated file.

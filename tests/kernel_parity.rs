@@ -1,0 +1,311 @@
+//! Kernel parity: the optimized GEMM/im2col kernels against the naive
+//! reference oracles in `autolearn_nn::kernels::reference`.
+//!
+//! The optimized path (blocked panel-packed GEMM, direct-B micro-kernel,
+//! im2col/col2im lowering) must agree with the direct-loop kernels to
+//! 1e-4 relative tolerance over randomized shapes — including the
+//! degenerate edges (k=1 kernels, stride larger than the kernel, 1x1
+//! spatial output) — and every zoo model must still train end-to-end
+//! through `Trainer::fit` on top of them.
+
+use autolearn_nn::kernels::{self, reference};
+use autolearn_nn::layers::{Conv2D, Conv3D, Layer};
+use autolearn_nn::models::{prepare_dataset, CarModel, DonkeyModel, ModelConfig, ModelKind};
+use autolearn_nn::{Dataset, Tensor, TrainConfig, Trainer};
+use autolearn_util::rng::rng_from_seed;
+use proptest::prelude::*;
+use rand::Rng;
+
+/// Elementwise 1e-4 relative-tolerance comparison.
+fn check_close(a: &[f32], b: &[f32], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        let tol = 1e-4 * (1.0 + x.abs().max(y.abs()));
+        assert!(
+            (x - y).abs() <= tol,
+            "{what}[{i}]: optimized {x} vs reference {y}"
+        );
+    }
+}
+
+fn rand_vec(n: usize, rng: &mut impl Rng) -> Vec<f32> {
+    (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+}
+
+/// Forward + backward parity of a Conv2D layer against the reference
+/// kernels at one concrete geometry.
+fn conv2d_case(batch: usize, c: usize, h: usize, w: usize, f: usize, k: usize, s: usize) {
+    let mut rng = rng_from_seed((batch * 1000 + c * 100 + k * 10 + s) as u64);
+    let mut conv = Conv2D::new(c, f, k, s, &mut rng);
+    let x = Tensor::randn(&[batch, c, h, w], 1.0, &mut rng);
+    let y = conv.forward(&x, true);
+
+    let wv = conv.w.value.data().to_vec();
+    let bias = conv.b.value.data().to_vec();
+    let mut want = vec![0.0f32; y.len()];
+    reference::conv2d_forward(x.data(), &wv, &bias, batch, c, h, w, f, k, s, &mut want);
+    check_close(y.data(), &want, "conv2d forward");
+
+    let g = Tensor::randn(y.shape(), 1.0, &mut rng);
+    conv.zero_grads();
+    let dx = conv.backward(&g);
+    let mut dx_want = vec![0.0f32; x.len()];
+    let mut dw_want = vec![0.0f32; wv.len()];
+    let mut db_want = vec![0.0f32; bias.len()];
+    reference::conv2d_backward(
+        x.data(),
+        &wv,
+        g.data(),
+        batch,
+        c,
+        h,
+        w,
+        f,
+        k,
+        s,
+        &mut dx_want,
+        &mut dw_want,
+        &mut db_want,
+    );
+    check_close(dx.data(), &dx_want, "conv2d dx");
+    check_close(conv.w.grad.data(), &dw_want, "conv2d dw");
+    check_close(conv.b.grad.data(), &db_want, "conv2d db");
+}
+
+/// Forward + backward parity of a Conv3D layer against the reference
+/// kernels at one concrete geometry.
+#[allow(clippy::too_many_arguments)]
+fn conv3d_case(
+    batch: usize,
+    c: usize,
+    t: usize,
+    h: usize,
+    w: usize,
+    f: usize,
+    kt: usize,
+    k: usize,
+    st: usize,
+    s: usize,
+) {
+    let mut rng = rng_from_seed((batch * 1000 + t * 100 + kt * 10 + s) as u64);
+    let mut conv = Conv3D::new(c, f, kt, k, st, s, &mut rng);
+    let x = Tensor::randn(&[batch, c, t, h, w], 1.0, &mut rng);
+    let y = conv.forward(&x, true);
+
+    let wv = conv.w.value.data().to_vec();
+    let bias = conv.b.value.data().to_vec();
+    let mut want = vec![0.0f32; y.len()];
+    reference::conv3d_forward(
+        x.data(),
+        &wv,
+        &bias,
+        batch,
+        c,
+        t,
+        h,
+        w,
+        f,
+        kt,
+        k,
+        st,
+        s,
+        &mut want,
+    );
+    check_close(y.data(), &want, "conv3d forward");
+
+    let g = Tensor::randn(y.shape(), 1.0, &mut rng);
+    conv.zero_grads();
+    let dx = conv.backward(&g);
+    let mut dx_want = vec![0.0f32; x.len()];
+    let mut dw_want = vec![0.0f32; wv.len()];
+    let mut db_want = vec![0.0f32; bias.len()];
+    reference::conv3d_backward(
+        x.data(),
+        &wv,
+        g.data(),
+        batch,
+        c,
+        t,
+        h,
+        w,
+        f,
+        kt,
+        k,
+        st,
+        s,
+        &mut dx_want,
+        &mut dw_want,
+        &mut db_want,
+    );
+    check_close(dx.data(), &dx_want, "conv3d dx");
+    check_close(conv.w.grad.data(), &dw_want, "conv3d dw");
+    check_close(conv.b.grad.data(), &db_want, "conv3d db");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Blocked GEMM against the naive row-sweep over randomized sizes,
+    /// spanning both micro-panel-aligned and ragged shapes.
+    #[test]
+    fn matmul_parity(m in 1usize..40, k in 1usize..120, n in 1usize..40) {
+        let mut rng = rng_from_seed((m * 10_000 + k * 100 + n) as u64);
+        let a = rand_vec(m * k, &mut rng);
+        let b = rand_vec(k * n, &mut rng);
+        let mut got = vec![0.0f32; m * n];
+        kernels::matmul_into(&mut got, &a, &b, m, k, n);
+        let mut want = vec![0.0f32; m * n];
+        reference::matmul(&a, &b, m, k, n, &mut want);
+        check_close(&got, &want, "matmul");
+    }
+
+    /// Transposed-operand and accumulating GEMM forms (the gradient paths)
+    /// against reference matmuls on explicitly transposed copies.
+    #[test]
+    fn gemm_transpose_parity(m in 1usize..20, k in 1usize..48, n in 1usize..20) {
+        let mut rng = rng_from_seed((m * 31 + k * 7 + n) as u64);
+        // a stored [k, m] read as aᵀ; b stored [n, k] read as bᵀ.
+        let a_t = rand_vec(k * m, &mut rng);
+        let b_t = rand_vec(n * k, &mut rng);
+        let mut a = vec![0.0f32; m * k];
+        for i in 0..m {
+            for kk in 0..k {
+                a[i * k + kk] = a_t[kk * m + i];
+            }
+        }
+        let mut b = vec![0.0f32; k * n];
+        for kk in 0..k {
+            for j in 0..n {
+                b[kk * n + j] = b_t[j * k + kk];
+            }
+        }
+        let mut want = vec![0.0f32; m * n];
+        reference::matmul(&a, &b, m, k, n, &mut want);
+
+        let mut got = rand_vec(m * n, &mut rng);
+        let prior = got.clone();
+        kernels::gemm(&mut got, true, &a_t, true, &b_t, true, m, k, n);
+        let with_prior: Vec<f32> = want.iter().zip(&prior).map(|(wv, p)| wv + p).collect();
+        check_close(&got, &with_prior, "gemm ta+tb+acc");
+    }
+
+    /// Conv2D layer (im2col + GEMM) against the direct reference loops,
+    /// forward and backward, over randomized geometry.
+    #[test]
+    fn conv2d_parity(
+        batch in 1usize..4,
+        c in prop::sample::select(vec![1usize, 3]),
+        f in 1usize..6,
+        k in 1usize..6,
+        s in 1usize..4,
+        extra_h in 0usize..9,
+        extra_w in 0usize..9,
+    ) {
+        conv2d_case(batch, c, k + extra_h, k + extra_w, f, k, s);
+    }
+
+    /// Conv3D layer against the direct reference loops over randomized
+    /// geometry, including kt=1 and temporal-stride edges.
+    #[test]
+    fn conv3d_parity(
+        batch in 1usize..3,
+        kt in 1usize..3,
+        k in 1usize..5,
+        st in 1usize..3,
+        s in 1usize..3,
+        extra_t in 0usize..3,
+        extra_hw in 0usize..5,
+    ) {
+        conv3d_case(batch, 1, kt + extra_t, k + extra_hw, k + extra_hw, 4, kt, k, st, s);
+    }
+}
+
+#[test]
+fn conv2d_edge_k1_is_pointwise() {
+    // 1x1 kernel: convolution degenerates to a per-pixel matmul.
+    conv2d_case(2, 3, 6, 7, 4, 1, 1);
+}
+
+#[test]
+fn conv2d_edge_stride_larger_than_kernel() {
+    // s > k skips input columns entirely between taps.
+    conv2d_case(2, 1, 11, 13, 3, 2, 3);
+}
+
+#[test]
+fn conv2d_edge_single_output_pixel() {
+    // h == w == k: exactly one spatial output position.
+    conv2d_case(3, 2, 5, 5, 4, 5, 2);
+}
+
+#[test]
+fn conv3d_edge_single_output_cell() {
+    conv3d_case(2, 1, 2, 4, 4, 3, 2, 4, 1, 1);
+}
+
+#[test]
+fn matmul_edge_k1_outer_product() {
+    let mut rng = rng_from_seed(99);
+    let a = rand_vec(9, &mut rng);
+    let b = rand_vec(21, &mut rng);
+    let mut got = vec![0.0f32; 9 * 21];
+    kernels::matmul_into(&mut got, &a, &b, 9, 1, 21);
+    let mut want = vec![0.0f32; 9 * 21];
+    reference::matmul(&a, &b, 9, 1, 21, &mut want);
+    check_close(&got, &want, "outer product");
+}
+
+/// Every zoo architecture still trains end-to-end through `Trainer::fit`
+/// on the GEMM kernels: finite losses, non-trivial scratch footprint.
+#[test]
+fn all_zoo_models_train_on_gemm_kernels() {
+    let cfg = ModelConfig {
+        height: 24,
+        width: 32,
+        dropout: 0.0,
+        ..Default::default()
+    };
+    let mut rng = rng_from_seed(42);
+    let mut frames = Vec::new();
+    let mut steer = Vec::new();
+    let mut throt = Vec::new();
+    for _ in 0..24 {
+        let s: f32 = rng.gen_range(-1.0..1.0);
+        frames.push(Tensor::randn(&[1, cfg.height, cfg.width], 0.5, &mut rng));
+        steer.push(s);
+        throt.push(0.4);
+    }
+    let data = Dataset::new(Tensor::stack(&frames), steer, throt);
+
+    for kind in [
+        ModelKind::Linear,
+        ModelKind::Categorical,
+        ModelKind::Inferred,
+        ModelKind::Memory,
+        ModelKind::Rnn,
+        ModelKind::ThreeD,
+    ] {
+        let mut model = CarModel::build(kind, &cfg);
+        let prepared = prepare_dataset(&data, model.input_spec());
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 2,
+            batch_size: 8,
+            patience: None,
+            ..Default::default()
+        });
+        let report = trainer
+            .fit(&mut model, &prepared)
+            .unwrap_or_else(|e| panic!("{kind:?} failed graph validation: {e:?}"));
+        assert_eq!(report.epochs_ran, 2, "{kind:?} did not run both epochs");
+        for e in &report.history {
+            assert!(
+                e.train_loss.is_finite() && e.val_loss.is_finite(),
+                "{kind:?} produced non-finite loss: {e:?}"
+            );
+        }
+        assert!(
+            model.scratch_bytes() > 0,
+            "{kind:?} reports no scratch arena"
+        );
+    }
+}
