@@ -50,6 +50,7 @@ pub fn builtin_rules() -> Vec<Box<dyn Rule>> {
     vec![
         Box::new(NoUnwrapInLib),
         Box::new(NoExpectInLib),
+        Box::new(NoPrintlnInLib),
         Box::new(PanicAudit),
         Box::new(PubItemNeedsDoc),
         Box::new(NoSleepInHotPath),
@@ -167,6 +168,43 @@ impl Rule for NoExpectInLib {
             }
         }
         out
+    }
+}
+
+/// Library code writing straight to stdout/stderr bypasses the telemetry
+/// layer: the output is invisible to the trace, the flight recorder and
+/// the exporters, and it interleaves nondeterministically with whatever
+/// the caller prints. Libraries must route run-time observations through
+/// `autolearn-obs` (spans, events, metrics) and leave printing to the
+/// binaries. Bins are exempt (stdout is their interface), as are the
+/// analyzer's own reporting code and the bench crate's human-readable
+/// tables.
+pub struct NoPrintlnInLib;
+
+const PRINT_NEEDLES: &[&str] = &["println!(", "eprintln!(", "print!(", "eprint!("];
+
+impl Rule for NoPrintlnInLib {
+    fn id(&self) -> &'static str {
+        "no-println-in-lib"
+    }
+
+    fn description(&self) -> &'static str {
+        "library code must not print to stdout/stderr; emit obs events/metrics instead"
+    }
+
+    fn applies_to(&self, file: &SourceFile) -> bool {
+        !file.is_bin
+            && !file.rel_path.starts_with("crates/analyze/")
+            && !file.rel_path.starts_with("crates/bench/")
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Finding> {
+        scan_code(self.id(), file, PRINT_NEEDLES, |needle| {
+            format!(
+                "`{}...)` in library code; record an obs event or metric instead of printing",
+                needle.trim_end_matches('(')
+            )
+        })
     }
 }
 
@@ -758,6 +796,32 @@ mod tests {
         let src = "fn f() { a.expect(\"boom\"); b.expect_err(\"fine\"); }\n";
         let found = NoExpectInLib.check(&file("crates/x/src/lib.rs", src));
         assert_eq!(found.len(), 1, "{found:?}");
+    }
+
+    #[test]
+    fn println_fires_in_lib_but_not_bins_tests_or_reporters() {
+        let src = "fn f() { println!(\"x\"); }\n#[cfg(test)]\nmod tests {\n    fn g() { println!(\"y\"); }\n}\n";
+        let lib = file("crates/x/src/lib.rs", src);
+        assert!(NoPrintlnInLib.applies_to(&lib));
+        let found = NoPrintlnInLib.check(&lib);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].line, 1);
+        // All four print macros are covered.
+        for mac in ["eprintln!(\"x\")", "print!(\"x\")", "eprint!(\"x\")"] {
+            let src = format!("fn f() {{ {mac}; }}\n");
+            assert_eq!(
+                NoPrintlnInLib.check(&file("crates/x/src/lib.rs", &src)).len(),
+                1,
+                "{mac} should fire"
+            );
+        }
+        // Bins print by design; the analyzer and bench report to humans.
+        assert!(!NoPrintlnInLib.applies_to(&file("crates/x/src/bin/tool.rs", src)));
+        assert!(!NoPrintlnInLib.applies_to(&file("crates/analyze/src/lint/mod.rs", src)));
+        assert!(!NoPrintlnInLib.applies_to(&file("crates/bench/src/report.rs", src)));
+        // Mentions inside string literals are blanked out of the code view.
+        let in_str = "fn f() { let s = \"println!(oops)\"; }\n";
+        assert!(NoPrintlnInLib.check(&file("crates/x/src/lib.rs", in_str)).is_empty());
     }
 
     #[test]

@@ -8,10 +8,15 @@
 //!
 //!   cargo run --release -p autolearn-bench --bin kernel_bench
 //!   cargo run --release -p autolearn-bench --bin kernel_bench -- --smoke
+//!   cargo run --release -p autolearn-bench --bin kernel_bench -- --check BENCH_kernels.json
 //!
 //! `--smoke` runs one fast iteration at shrunken shapes and writes no
 //! file; it exists so `scripts/ci.sh` can prove the harness itself still
-//! runs without paying the full measurement cost.
+//! runs without paying the full measurement cost. `--check <snapshot>`
+//! re-measures at the committed shapes and fails (exit 1) if the
+//! aggregate optimized time regressed more than 5% against the snapshot —
+//! the gate that keeps instrumentation (and everything else) off the
+//! kernel hot paths.
 
 use autolearn_nn::kernels::{self, reference};
 use autolearn_nn::layers::{Conv2D, Conv3D, Layer};
@@ -246,8 +251,62 @@ fn render_json(results: &[CaseResult], batch: usize, h: usize, w: usize, iters: 
     s
 }
 
+/// Sum of the `"optimized_ns": N` fields in a snapshot JSON. Hand-parsed
+/// (the snapshot is our own fixed format) so the bench binary stays free
+/// of JSON dependencies.
+fn snapshot_optimized_total(json: &str) -> Option<u64> {
+    let mut total = 0u64;
+    let mut seen = false;
+    for chunk in json.split("\"optimized_ns\":").skip(1) {
+        let digits: String = chunk
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect();
+        total += digits.parse::<u64>().ok()?;
+        seen = true;
+    }
+    seen.then_some(total)
+}
+
+/// Regression tolerance for `--check`: aggregate optimized ns may not
+/// exceed the snapshot by more than this factor.
+const CHECK_TOLERANCE: f64 = 1.05;
+
+fn run_check(results: &[CaseResult], snapshot_path: &str) -> i32 {
+    let json = match std::fs::read_to_string(snapshot_path) {
+        Ok(s) => s,
+        Err(e) => {
+            println!("kernel_bench: cannot read snapshot {snapshot_path}: {e}");
+            return 1;
+        }
+    };
+    let Some(baseline) = snapshot_optimized_total(&json) else {
+        println!("kernel_bench: snapshot {snapshot_path} has no optimized_ns fields");
+        return 1;
+    };
+    let measured: u64 = results.iter().map(|r| r.optimized_ns).sum();
+    let ratio = measured as f64 / baseline as f64;
+    println!(
+        "kernel_bench: check vs {snapshot_path}: measured {measured} ns, \
+         snapshot {baseline} ns, ratio {ratio:.3} (limit {CHECK_TOLERANCE:.2})"
+    );
+    if ratio > CHECK_TOLERANCE {
+        println!("kernel_bench: REGRESSION — optimized kernels are >5% slower than the snapshot");
+        1
+    } else {
+        println!("kernel_bench: within tolerance");
+        0
+    }
+}
+
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let check_path = args
+        .iter()
+        .position(|a| a == "--check")
+        .map(|i| args.get(i + 1).cloned().unwrap_or_else(|| "BENCH_kernels.json".into()));
     // Full run: DonkeyCar camera at batch 32. Smoke: one iteration at a
     // shrunken frame so CI proves the harness without the measurement cost.
     let (iters, batch, h, w, t) = if smoke {
@@ -260,14 +319,26 @@ fn main() {
     // conv's [32, 13, 18] output at 120x160, projected to 64 features.
     let (mk, mn) = if smoke { (64, 16) } else { (7488, 64) };
 
-    let mut results = Vec::new();
-    results.push(case_matmul(iters, batch, mk, mn));
-    let (c2f, c2b) = case_conv2d(iters, batch, h, w);
-    results.push(c2f);
-    results.push(c2b);
-    let (c3f, c3b) = case_conv3d(iters, batch, t, h, w);
-    results.push(c3f);
-    results.push(c3b);
+    let measure = || {
+        let mut results = Vec::new();
+        results.push(case_matmul(iters, batch, mk, mn));
+        let (c2f, c2b) = case_conv2d(iters, batch, h, w);
+        results.push(c2f);
+        results.push(c2b);
+        let (c3f, c3b) = case_conv3d(iters, batch, t, h, w);
+        results.push(c3f);
+        results.push(c3b);
+        results
+    };
+    let mut results = measure();
+    if check_path.is_some() {
+        // The gate compares wall time, so one scheduler burst could fail a
+        // healthy build: measure twice, keep each case's minimum.
+        for (r, second) in results.iter_mut().zip(measure()) {
+            r.optimized_ns = r.optimized_ns.min(second.optimized_ns);
+            r.reference_ns = r.reference_ns.min(second.reference_ns);
+        }
+    }
 
     println!(
         "{:<18} {:>14} {:>14} {:>9}",
@@ -286,6 +357,10 @@ fn main() {
     if smoke {
         println!("kernel_bench: smoke run complete (no snapshot written)");
         return;
+    }
+
+    if let Some(path) = check_path {
+        std::process::exit(run_check(&results, &path));
     }
 
     let json = render_json(&results, batch, h, w, iters);

@@ -9,6 +9,7 @@
 //! students actually hit.
 
 use crate::reservation::{LeaseId, ReservationError, ReservationSystem};
+use autolearn_obs::{AttrValue, Obs};
 use autolearn_util::fault::{FaultKind, FaultPlan, FaultSite};
 use autolearn_util::{SimDuration, SimTime};
 
@@ -99,6 +100,62 @@ pub fn launch_lease(
     }
 }
 
+/// [`launch_lease`] with telemetry: bumps `cloud.launch_attempts` (and
+/// `cloud.preemptions` when the admitted lease carries a scheduled
+/// preemption), records freshly injected faults as `fault` events, and
+/// emits `lease-admitted` / `preemption-scheduled` / `launch-failed`
+/// events. The launch outcome is identical to the unobserved call.
+#[allow(clippy::too_many_arguments)]
+pub fn launch_lease_observed(
+    rs: &mut ReservationSystem,
+    project: &str,
+    node_type: &str,
+    nodes: u32,
+    now: SimTime,
+    duration: SimDuration,
+    plan: &mut FaultPlan,
+    obs: &mut Obs,
+) -> Result<LeaseLaunch, LaunchError> {
+    let faults_before = plan.injected().len();
+    let result = launch_lease(rs, project, node_type, nodes, now, duration, plan);
+    obs.counter_add("cloud.launch_attempts", 1);
+    obs.record_injected_faults(&plan.injected()[faults_before..]);
+    match &result {
+        Ok(launch) => {
+            obs.event(
+                "lease-admitted",
+                vec![
+                    ("node_type".to_string(), AttrValue::Str(node_type.to_string())),
+                    (
+                        "launch_s".to_string(),
+                        AttrValue::F64(launch.launch_time.as_secs()),
+                    ),
+                ],
+            );
+            if let Some(at_fraction) = launch.preempt_at_fraction {
+                obs.counter_add("cloud.preemptions", 1);
+                obs.event(
+                    "preemption-scheduled",
+                    vec![
+                        ("node_type".to_string(), AttrValue::Str(node_type.to_string())),
+                        ("at_fraction".to_string(), AttrValue::F64(at_fraction)),
+                    ],
+                );
+            }
+        }
+        Err(err) => {
+            obs.event(
+                "launch-failed",
+                vec![
+                    ("node_type".to_string(), AttrValue::Str(node_type.to_string())),
+                    ("error".to_string(), AttrValue::Str(err.to_string())),
+                ],
+            );
+        }
+    }
+    result
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,6 +226,48 @@ mod tests {
             }
         }
         assert!(seen_transient && seen_capacity && seen_preempt);
+    }
+
+    #[test]
+    fn observed_launch_matches_unobserved_and_reports_events() {
+        let mut seen_admit = false;
+        let mut seen_fail = false;
+        let mut seen_preempt = false;
+        for seed in 0..128 {
+            let mut plain = FaultPlan::from_seed(seed, FaultConfig::chaos(1.0));
+            let mut plan = FaultPlan::from_seed(seed, FaultConfig::chaos(1.0));
+            let mut rs = ReservationSystem::new(Site::chameleon());
+            let mut obs = Obs::new();
+            let observed = launch_lease_observed(
+                &mut rs,
+                "autolearn",
+                "gpu_v100",
+                1,
+                SimTime::ZERO,
+                SimDuration::from_hours(1.0),
+                &mut plan,
+                &mut obs,
+            );
+            assert_eq!(launch(&mut plain), observed, "telemetry must not change outcome");
+            assert_eq!(obs.metrics().counter("cloud.launch_attempts"), 1);
+            match observed {
+                Ok(l) => {
+                    assert_eq!(obs.trace().events_named("lease-admitted").count(), 1);
+                    seen_admit = true;
+                    if l.preempt_at_fraction.is_some() {
+                        assert_eq!(obs.metrics().counter("cloud.preemptions"), 1);
+                        assert_eq!(obs.trace().events_named("preemption-scheduled").count(), 1);
+                        seen_preempt = true;
+                    }
+                }
+                Err(_) => {
+                    assert_eq!(obs.trace().events_named("launch-failed").count(), 1);
+                    assert!(obs.metrics().counter("cloud.faults") >= 1);
+                    seen_fail = true;
+                }
+            }
+        }
+        assert!(seen_admit && seen_fail && seen_preempt);
     }
 
     #[test]

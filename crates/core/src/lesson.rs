@@ -9,9 +9,10 @@
 //! and drives the actual pipeline those cells stand for.
 
 use crate::pipeline::{Pipeline, PipelineConfig, PipelineError, PipelineReport};
+use autolearn_obs::Obs;
 use autolearn_track::Track;
 use autolearn_trovi::{Artifact, TroviHub};
-use autolearn_util::SimTime;
+use autolearn_util::{FaultPlan, RetryPolicy, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// What a lesson run produced.
@@ -38,7 +39,37 @@ pub fn run_digital_lesson(
     config: PipelineConfig,
     at: SimTime,
 ) -> Result<(LessonReport, PipelineReport), PipelineError> {
+    let mut obs = Obs::new();
+    run_digital_lesson_traced(
+        hub,
+        user,
+        track,
+        config,
+        at,
+        &mut FaultPlan::none(),
+        &RetryPolicy::default(),
+        &mut obs,
+    )
+}
+
+/// [`run_digital_lesson`], but telemetry-first: the sim-time cursor starts
+/// at `at`, faults come from `plan`, retries follow `policy`, and the whole
+/// seven-stage loop lands in `obs` as one trace (export it afterwards with
+/// [`Obs::export_chrome_trace`]). This is the entry point `trace.sh` and the
+/// golden-trace determinism tests drive.
+#[allow(clippy::too_many_arguments)]
+pub fn run_digital_lesson_traced(
+    hub: &mut TroviHub,
+    user: &str,
+    track: &Track,
+    config: PipelineConfig,
+    at: SimTime,
+    plan: &mut FaultPlan,
+    policy: &RetryPolicy,
+    obs: &mut Obs,
+) -> Result<(LessonReport, PipelineReport), PipelineError> {
     let slug = "autolearn-edge-to-cloud";
+    obs.set_now(at);
     if hub.get(slug).is_none() {
         hub.publish(Artifact::autolearn_example());
     }
@@ -66,7 +97,7 @@ pub fn run_digital_lesson(
     }
 
     // The computation those cells stand for.
-    let pipeline_report = Pipeline::new(track.clone(), config).run()?;
+    let pipeline_report = Pipeline::new(track.clone(), config).run_observed(plan, policy, obs)?;
 
     let metrics = hub.events.metrics_for(slug);
     Ok((

@@ -15,11 +15,21 @@
 //! resuming training from the last epoch boundary after a preemption.
 //! Completed stages are checkpointed and never re-run; every attempt and
 //! every injected fault lands in the report's [`RunLog`].
+//!
+//! Telemetry: the run emits through an [`Obs`] — a root `pipeline` span,
+//! one child span per stage, one `attempt` span per try at a fallible
+//! stage (fault events nested inside), `checkpoint` events at stage
+//! completions, and stage-latency/retry/fault metrics. The [`RunLog`] is
+//! no longer separate bookkeeping: it is *reconstructed from the trace*
+//! by [`RunLog::from_trace`], so the trace is the single source of truth.
+//! [`Pipeline::run_observed`] runs against a caller-owned [`Obs`] (for
+//! export); [`Pipeline::run_chaos`] keeps its old signature and observes
+//! into a private one.
 
 use crate::collect::{collect_session, CollectConfig, CollectionPath};
 use crate::dataset::{records_to_dataset, tub_bytes_estimate};
 use crate::modelpilot::ModelPilot;
-use autolearn_cloud::chaos::{launch_lease, LaunchError, LAUNCH_OVERHEAD_S};
+use autolearn_cloud::chaos::{launch_lease_observed, LaunchError, LAUNCH_OVERHEAD_S};
 use autolearn_cloud::hardware::{ComputeDevice, GpuKind, Site};
 use autolearn_cloud::perf::{training_time, TrainingCostModel};
 use autolearn_cloud::provision::ProvisioningPlan;
@@ -34,6 +44,7 @@ use autolearn_nn::{
 use autolearn_sim::{CarConfig, DriveConfig, Simulation};
 use autolearn_track::Track;
 use autolearn_tub::{CleanConfig, TubCleaner};
+use autolearn_obs::{attr, AttrValue, Obs, Trace};
 use autolearn_util::fault::{FaultPlan, InjectedFault};
 use autolearn_util::{derive_seed, Bytes, Epochs, RetryPolicy, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -121,6 +132,60 @@ impl RunLog {
     /// Attempts that failed (retries and terminal failures).
     pub fn failed_attempts(&self) -> usize {
         self.attempts.iter().filter(|a| a.outcome != "ok").count()
+    }
+
+    /// Reconstruct the run log from the trace — the log *is* a view over
+    /// the telemetry, not parallel bookkeeping. `attempt` spans carrying
+    /// an `outcome` attribute become [`AttemptRecord`]s (the typed
+    /// `charged_s`/`backoff_s` attributes round-trip the durations
+    /// exactly), `checkpoint` events rebuild the completed-stage trail,
+    /// and the last `gpu-selected` event names the GPU that trained.
+    /// Faults come from the fault plan's own log, which stays the
+    /// authority on what was injected.
+    pub fn from_trace(trace: &Trace, faults: Vec<InjectedFault>) -> RunLog {
+        let mut log = RunLog {
+            faults,
+            ..RunLog::default()
+        };
+        for span in trace.spans_named("attempt") {
+            let stage = attr(&span.attrs, "stage").and_then(|v| v.as_str());
+            let outcome = attr(&span.attrs, "outcome").and_then(|v| v.as_str());
+            let (Some(stage), Some(outcome)) = (stage, outcome) else {
+                // Fatal attempts never carried an outcome and never made
+                // the log.
+                continue;
+            };
+            let num = |key: &str| {
+                attr(&span.attrs, key)
+                    .and_then(|v| v.as_f64())
+                    .unwrap_or(0.0)
+            };
+            let attempt = attr(&span.attrs, "attempt")
+                .and_then(|v| v.as_int())
+                .and_then(|v| u32::try_from(v).ok())
+                .unwrap_or(0);
+            log.attempts.push(AttemptRecord {
+                stage: stage.to_string(),
+                attempt,
+                outcome: outcome.to_string(),
+                charged: SimDuration::from_secs(num("charged_s")),
+                backoff: SimDuration::from_secs(num("backoff_s")),
+            });
+        }
+        for event in trace.events_named("checkpoint") {
+            if let Some(stage) = attr(&event.attrs, "stage").and_then(|v| v.as_str()) {
+                log.completed_stages.push(stage.to_string());
+            }
+        }
+        if let Some(gpu) = trace
+            .events_named("gpu-selected")
+            .last()
+            .and_then(|e| attr(&e.attrs, "gpu"))
+            .and_then(|v| v.as_str())
+        {
+            log.gpu_used = gpu.to_string();
+        }
+        log
     }
 }
 
@@ -232,15 +297,19 @@ enum StageFault {
 
 /// Drive one fallible stage under `policy`: run attempts until one succeeds,
 /// the attempt cap is hit, or the stage deadline is blown, charging
-/// exponential backoff (with jitter derived from `seed`) between attempts
-/// and recording every attempt in `log`. Returns the stage's value plus the
-/// total simulated time the stage consumed.
+/// exponential backoff (with jitter derived from `seed`) between attempts.
+/// Every try becomes an `attempt` span on `obs` — typed attributes carry
+/// the stage, the 1-based attempt number, the outcome, and the exact
+/// charged/backoff durations, which is what [`RunLog::from_trace`] reads
+/// back. The attempt body gets the observer too, so substrate telemetry
+/// (fault events, transfer counters) nests inside the attempt span.
+/// Returns the stage's value plus the total simulated time consumed.
 fn retry_stage<T>(
     stage: &str,
     policy: &RetryPolicy,
     seed: u64,
-    log: &mut RunLog,
-    mut attempt_fn: impl FnMut(u32) -> Result<(T, SimDuration), StageFault>,
+    obs: &mut Obs,
+    mut attempt_fn: impl FnMut(u32, &mut Obs) -> Result<(T, SimDuration), StageFault>,
 ) -> Result<(T, SimDuration), PipelineError> {
     let mut elapsed = SimDuration::ZERO;
     let mut attempt = 1u32;
@@ -261,19 +330,27 @@ fn retry_stage<T>(
                 }
             });
         }
-        match attempt_fn(attempt) {
+        let span = obs.begin_span("attempt");
+        obs.span_attr(span, "stage", AttrValue::Str(stage.to_string()));
+        obs.span_attr(span, "attempt", AttrValue::Int(i64::from(attempt)));
+        obs.counter_add("pipeline.attempts", 1);
+        match attempt_fn(attempt, obs) {
             Ok((value, charged)) => {
                 elapsed += charged;
-                log.attempts.push(AttemptRecord {
-                    stage: stage.to_string(),
-                    attempt,
-                    outcome: "ok".to_string(),
-                    charged,
-                    backoff: SimDuration::ZERO,
-                });
+                obs.span_attr(span, "outcome", AttrValue::Str("ok".to_string()));
+                obs.span_attr(span, "charged_s", AttrValue::F64(charged.as_secs()));
+                obs.span_attr(span, "backoff_s", AttrValue::F64(0.0));
+                obs.advance(charged);
+                obs.end_span(span);
                 return Ok((value, elapsed));
             }
-            Err(StageFault::Fatal(e)) => return Err(e),
+            Err(StageFault::Fatal(e)) => {
+                // Fatal attempts abort the run and never made the old log;
+                // leaving the span without an outcome keeps the view
+                // identical.
+                obs.end_span(span);
+                return Err(e);
+            }
             Err(StageFault::Retryable { why, charged }) => {
                 elapsed += charged;
                 // Only charge backoff when another attempt is coming.
@@ -283,13 +360,14 @@ fn retry_stage<T>(
                     SimDuration::ZERO
                 };
                 elapsed += backoff;
-                log.attempts.push(AttemptRecord {
-                    stage: stage.to_string(),
-                    attempt,
-                    outcome: why.clone(),
-                    charged,
-                    backoff,
-                });
+                obs.counter_add("pipeline.retries", 1);
+                obs.span_attr(span, "outcome", AttrValue::Str(why.clone()));
+                obs.span_attr(span, "charged_s", AttrValue::F64(charged.as_secs()));
+                obs.span_attr(span, "backoff_s", AttrValue::F64(backoff.as_secs()));
+                obs.advance(charged);
+                obs.end_span(span);
+                // The backoff is the gap between attempt spans.
+                obs.advance(backoff);
                 last_error = why;
                 attempt += 1;
             }
@@ -368,46 +446,99 @@ impl Pipeline {
 
     /// Run the whole loop under fault injection: `plan` is consulted at
     /// every fallible operation, failed attempts are retried under
-    /// `policy`, and the report's [`RunLog`] records what happened.
+    /// `policy`, and the report's [`RunLog`] records what happened. The
+    /// telemetry goes to a run-private [`Obs`]; use
+    /// [`Pipeline::run_observed`] to keep (and export) the trace.
     pub fn run_chaos(
         &self,
         plan: &mut FaultPlan,
         policy: &RetryPolicy,
+    ) -> Result<PipelineReport, PipelineError> {
+        let mut obs = Obs::new();
+        self.run_observed(plan, policy, &mut obs)
+    }
+
+    /// [`Pipeline::run_chaos`] against a caller-owned observer: the whole
+    /// run lands in `obs` as a root `pipeline` span with one child span
+    /// per stage, `attempt` spans (fault events nested) under the
+    /// fallible ones, and the stage/retry/fault metrics filled in. On
+    /// failure the observer captures a [`PostMortem`](autolearn_obs::PostMortem)
+    /// with the flight recorder's view of the final moments.
+    pub fn run_observed(
+        &self,
+        plan: &mut FaultPlan,
+        policy: &RetryPolicy,
+        obs: &mut Obs,
+    ) -> Result<PipelineReport, PipelineError> {
+        let root = obs.begin_span("pipeline");
+        let result = self.run_stages(plan, policy, obs);
+        if let Err(err) = &result {
+            obs.record_failure(&err.to_string());
+        }
+        obs.end_span(root);
+        result
+    }
+
+    fn run_stages(
+        &self,
+        plan: &mut FaultPlan,
+        policy: &RetryPolicy,
+        obs: &mut Obs,
     ) -> Result<PipelineReport, PipelineError> {
         let cfg = &self.config;
         if let Err(errs) = self.preflight() {
             return Err(PipelineError::ContractViolated(errs));
         }
         let seed = cfg.collection.seed;
-        let mut log = RunLog::default();
         let mut stages = Vec::new();
-        let checkpoint = |log: &mut RunLog, stage: &str| {
-            log.completed_stages.push(stage.to_string());
+        let checkpoint = |obs: &mut Obs, stage: &str| {
+            obs.event(
+                "checkpoint",
+                vec![("stage".to_string(), AttrValue::Str(stage.to_string()))],
+            );
         };
 
         // 1. Collect (student drives for the configured duration; the car
         // is offline during collection, so no continuum faults apply).
+        let collect_span = obs.begin_span("collect");
         let collected = collect_session(&self.track, &cfg.collection);
+        let collect_time = SimDuration::from_secs(collected.session.duration_s);
+        obs.advance(collect_time);
         stages.push(StageTiming {
             stage: "collect".into(),
-            duration: SimDuration::from_secs(collected.session.duration_s),
+            duration: collect_time,
         });
-        checkpoint(&mut log, "collect");
         let records_collected = collected.records.len();
+        obs.span_attr(
+            collect_span,
+            "records",
+            AttrValue::UInt(records_collected as u64),
+        );
+        checkpoint(obs, "collect");
+        obs.end_span(collect_span);
 
         // 2. Clean. The manual tubclean review plays the video back; charge
         // 1/4 of the session length for the student's review pass.
         let mut records = collected.records;
         if cfg.clean {
+            let clean_span = obs.begin_span("clean");
             let cleaner = TubCleaner::new(CleanConfig::default());
             let report = cleaner.analyse(&records);
             let flagged = report.flagged_ids();
             records.retain(|r| !flagged.contains(&r.id));
+            let clean_time = SimDuration::from_secs(collected.session.duration_s / 4.0);
+            obs.advance(clean_time);
             stages.push(StageTiming {
                 stage: "clean".into(),
-                duration: SimDuration::from_secs(collected.session.duration_s / 4.0),
+                duration: clean_time,
             });
-            checkpoint(&mut log, "clean");
+            obs.span_attr(
+                clean_span,
+                "flagged",
+                AttrValue::UInt((records_collected - records.len()) as u64),
+            );
+            checkpoint(obs, "clean");
+            obs.end_span(clean_span);
         }
         let records_cleaned = records.len();
 
@@ -417,15 +548,16 @@ impl Pipeline {
         let mut reservations = ReservationSystem::new(Site::chameleon());
         let chain = fallback_chain(cfg.gpu);
         let mut chain_idx = 0usize;
+        let reserve_span = obs.begin_span("reserve");
         let ((gpu_used, launch), reserve_time) = retry_stage(
             "reserve",
             policy,
             derive_seed(seed, "retry-reserve"),
-            &mut log,
-            |_attempt| {
+            obs,
+            |_attempt, obs| {
                 let gpu = chain[chain_idx.min(chain.len() - 1)];
                 let node_type = format!("gpu_{}", gpu.name().to_lowercase());
-                match launch_lease(
+                match launch_lease_observed(
                     &mut reservations,
                     "autolearn",
                     &node_type,
@@ -433,6 +565,7 @@ impl Pipeline {
                     SimTime::ZERO,
                     SimDuration::from_hours(4.0),
                     plan,
+                    obs,
                 ) {
                     Ok(launch) => {
                         let launch_time = launch.launch_time;
@@ -472,20 +605,34 @@ impl Pipeline {
             stage: "reserve".into(),
             duration: reserve_time,
         });
-        checkpoint(&mut log, "reserve");
-        log.gpu_used = gpu_used.name().to_string();
+        obs.event(
+            "gpu-selected",
+            vec![(
+                "gpu".to_string(),
+                AttrValue::Str(gpu_used.name().to_string()),
+            )],
+        );
+        checkpoint(obs, "reserve");
+        obs.end_span(reserve_span);
 
         // 4. Provision the CUDA image + rsync the tub up. The bare-metal
         // deploy steps are charged once; the upload is a resumable transfer
         // that re-sends only the delta after a mid-transfer fault.
+        let upload_span = obs.begin_span("provision+upload");
         let fixed = ProvisioningPlan::cuda_image(SimDuration::ZERO).total();
+        obs.advance(fixed);
         let mut upload = ResumableTransfer::new(TransferSpec::rsync(tub_bytes_estimate(&records)));
         let (_, upload_time) = retry_stage(
             "provision+upload",
             policy,
             derive_seed(seed, "retry-upload"),
-            &mut log,
-            |_attempt| match upload.attempt(&Path::car_to_cloud(), plan, "tub-upload") {
+            obs,
+            |_attempt, obs| match upload.attempt_observed(
+                &Path::car_to_cloud(),
+                plan,
+                "tub-upload",
+                obs,
+            ) {
                 Ok(d) => Ok(((), d)),
                 Err((failure, charged)) => Err(StageFault::Retryable {
                     why: failure.to_string(),
@@ -497,33 +644,47 @@ impl Pipeline {
             stage: "provision+upload".into(),
             duration: fixed + upload_time,
         });
-        checkpoint(&mut log, "provision+upload");
+        checkpoint(obs, "provision+upload");
+        obs.end_span(upload_span);
 
         // 5. Train (real math on host; device time attributed). A scheduled
         // preemption revokes the lease mid-training: the partial epoch is
         // lost, the node relaunches, and training resumes from the last
         // completed epoch boundary.
+        let train_span = obs.begin_span("train");
         let mut model = CarModel::build(cfg.model_kind, &cfg.model);
         let data = prepare_dataset(&records_to_dataset(&records, &cfg.model), model.input_spec());
         let trainer = Trainer::new(cfg.train.clone());
         let train_report = trainer
-            .fit(&mut model, &data)
+            .fit_observed(&mut model, &data, obs)
             .map_err(PipelineError::ModelRejected)?;
         let cost = TrainingCostModel::new(
             model.flops_per_inference(),
             train_report.examples_seen,
             cfg.train.batch_size as u64,
         );
+        // Each simulated run at the training work (the clean one, or the
+        // preempted half plus the resumed half) becomes an `attempt` span,
+        // same shape as the retried stages'.
+        let train_attempt =
+            |obs: &mut Obs, attempt: u32, outcome: &str, charged: SimDuration| {
+                let span = obs.begin_span("attempt");
+                obs.counter_add("pipeline.attempts", 1);
+                if outcome != "ok" {
+                    obs.counter_add("pipeline.retries", 1);
+                }
+                obs.span_attr(span, "stage", AttrValue::Str("train".to_string()));
+                obs.span_attr(span, "attempt", AttrValue::Int(i64::from(attempt)));
+                obs.span_attr(span, "outcome", AttrValue::Str(outcome.to_string()));
+                obs.span_attr(span, "charged_s", AttrValue::F64(charged.as_secs()));
+                obs.span_attr(span, "backoff_s", AttrValue::F64(0.0));
+                obs.advance(charged);
+                obs.end_span(span);
+            };
         let base_train = training_time(&cost, &ComputeDevice::of_gpu(gpu_used));
         let train_time = match preempt.take() {
             None => {
-                log.attempts.push(AttemptRecord {
-                    stage: "train".into(),
-                    attempt: 1,
-                    outcome: "ok".into(),
-                    charged: base_train,
-                    backoff: SimDuration::ZERO,
-                });
+                train_attempt(obs, 1, "ok", base_train);
                 base_train
             }
             Some(at_fraction) => {
@@ -535,23 +696,16 @@ impl Pipeline {
                 let lost = base_train * at_fraction;
                 let relaunch = SimDuration::from_secs(LAUNCH_OVERHEAD_S);
                 let resume = base_train * (1.0 - kept);
-                log.attempts.push(AttemptRecord {
-                    stage: "train".into(),
-                    attempt: 1,
-                    outcome: format!(
+                train_attempt(
+                    obs,
+                    1,
+                    &format!(
                         "preempted at {:.0}% of training, resuming from epoch {banked}",
                         at_fraction * 100.0,
                     ),
-                    charged: lost + relaunch,
-                    backoff: SimDuration::ZERO,
-                });
-                log.attempts.push(AttemptRecord {
-                    stage: "train".into(),
-                    attempt: 2,
-                    outcome: "ok".into(),
-                    charged: resume,
-                    backoff: SimDuration::ZERO,
-                });
+                    lost + relaunch,
+                );
+                train_attempt(obs, 2, "ok", resume);
                 lost + relaunch + resume
             }
         };
@@ -559,23 +713,31 @@ impl Pipeline {
             stage: "train".into(),
             duration: train_time,
         });
-        checkpoint(&mut log, "train");
+        checkpoint(obs, "train");
+        obs.end_span(train_span);
 
         // 6. Deploy the model: object store PUT from the GPU node (the
         // datacenter fabric is not a fault site), resumable GET down to the
         // car, then the car's container (re)start — both fault-prone.
+        let deploy_span = obs.begin_span("deploy-model");
         let model_bytes = Bytes::new((model.param_count() * 4 + 4096) as u64);
         let put = transfer_time(
             &Path::of_presets(&[autolearn_net::LinkPreset::Datacenter]),
             &TransferSpec::object_store(model_bytes),
         );
+        obs.advance(put);
         let mut get = ResumableTransfer::new(TransferSpec::object_store(model_bytes));
         let (_, get_time) = retry_stage(
             "deploy-model",
             policy,
             derive_seed(seed, "retry-deploy"),
-            &mut log,
-            |_attempt| match get.attempt(&Path::car_to_cloud(), plan, "model-download") {
+            obs,
+            |_attempt, obs| match get.attempt_observed(
+                &Path::car_to_cloud(),
+                plan,
+                "model-download",
+                obs,
+            ) {
                 Ok(d) => Ok(((), d)),
                 Err((failure, charged)) => Err(StageFault::Retryable {
                     why: failure.to_string(),
@@ -589,10 +751,15 @@ impl Pipeline {
             "deploy-container",
             policy,
             derive_seed(seed, "retry-container"),
-            &mut log,
+            obs,
             // The image stays cached across failed attempts, so retries
             // start warm — only the fault's own cost is paid again.
-            |_attempt| match runtime.launch_with_faults(&image, &Path::car_to_cloud(), plan) {
+            |_attempt, obs| match runtime.launch_with_faults_observed(
+                &image,
+                &Path::car_to_cloud(),
+                plan,
+                obs,
+            ) {
                 Ok((_container, d)) => Ok(((), d)),
                 Err(err) => {
                     let wasted = match &err {
@@ -612,7 +779,8 @@ impl Pipeline {
             stage: "deploy-model".into(),
             duration: put + get_time + container_time,
         });
-        checkpoint(&mut log, "deploy-model");
+        checkpoint(obs, "deploy-model");
+        obs.end_span(deploy_span);
 
         // 7. Evaluate: autonomous laps on the same kind of car that
         // collected the data.
@@ -638,15 +806,30 @@ impl Pipeline {
                 ..Default::default()
             },
         );
+        let eval_span = obs.begin_span("evaluate");
         let mut pilot = ModelPilot::new(model);
         let eval = sim.run_laps(&mut pilot, cfg.eval_laps, cfg.eval_max_duration_s);
+        let eval_time = SimDuration::from_secs(eval.duration_s);
+        obs.advance(eval_time);
         stages.push(StageTiming {
             stage: "evaluate".into(),
-            duration: SimDuration::from_secs(eval.duration_s),
+            duration: eval_time,
         });
-        checkpoint(&mut log, "evaluate");
+        obs.span_attr(eval_span, "autonomy", AttrValue::F64(eval.autonomy()));
+        checkpoint(obs, "evaluate");
+        obs.end_span(eval_span);
 
-        log.faults = plan.injected().to_vec();
+        // Stage-latency metrics, in stage order.
+        for timing in &stages {
+            obs.observe("pipeline.stage_seconds", timing.duration.as_secs());
+            obs.gauge_set(
+                &format!("pipeline.stage.{}_s", timing.stage),
+                timing.duration.as_secs(),
+            );
+        }
+
+        // The run log is a view over the trace — no parallel bookkeeping.
+        let log = RunLog::from_trace(obs.trace(), plan.injected().to_vec());
         Ok(PipelineReport {
             stages,
             records_collected,
@@ -815,8 +998,8 @@ mod tests {
     #[test]
     fn retry_stage_respects_attempt_cap_and_deadline() {
         let policy = RetryPolicy::default();
-        let mut log = RunLog::default();
-        let err = retry_stage::<()>("doomed", &policy, 1, &mut log, |_| {
+        let mut obs = Obs::new();
+        let err = retry_stage::<()>("doomed", &policy, 1, &mut obs, |_, _| {
             Err(StageFault::Retryable {
                 why: "always fails".into(),
                 charged: SimDuration::from_secs(1.0),
@@ -832,11 +1015,12 @@ mod tests {
             }
             other => panic!("expected StageFailed, got {other}"),
         }
+        let log = RunLog::from_trace(obs.trace(), vec![]);
         assert_eq!(log.attempts.len(), policy.max_attempts as usize);
 
         let tight = RetryPolicy::default().with_deadline(SimDuration::from_secs(0.5));
-        let mut log = RunLog::default();
-        let err = retry_stage::<()>("late", &tight, 1, &mut log, |_| {
+        let mut obs = Obs::new();
+        let err = retry_stage::<()>("late", &tight, 1, &mut obs, |_, _| {
             Err(StageFault::Retryable {
                 why: "slow".into(),
                 charged: SimDuration::from_secs(10.0),
@@ -844,5 +1028,99 @@ mod tests {
         })
         .unwrap_err();
         assert!(matches!(err, PipelineError::DeadlineExceeded { .. }));
+    }
+
+    #[test]
+    fn run_log_view_round_trips_attempts_exactly() {
+        // The trace is the only record: charged/backoff durations and
+        // outcome strings must survive the span→RunLog view bit-for-bit.
+        let policy = RetryPolicy::default();
+        let mut obs = Obs::new();
+        let mut fails_left = 2u32;
+        let (_, elapsed) = retry_stage::<()>("flaky", &policy, 7, &mut obs, |_, _| {
+            if fails_left > 0 {
+                fails_left -= 1;
+                Err(StageFault::Retryable {
+                    why: "transient".into(),
+                    charged: SimDuration::from_secs(0.1 + 0.2), // not exactly representable
+                })
+            } else {
+                Ok(((), SimDuration::from_secs(3.5)))
+            }
+        })
+        .expect("third attempt succeeds");
+
+        let log = RunLog::from_trace(obs.trace(), vec![]);
+        assert_eq!(log.attempts.len(), 3);
+        assert_eq!(log.failed_attempts(), 2);
+        let total: f64 = log
+            .attempts
+            .iter()
+            .map(|a| a.charged.as_secs() + a.backoff.as_secs())
+            .sum();
+        assert_eq!(total, elapsed.as_secs(), "durations must round-trip exactly");
+        assert_eq!(log.attempts[0].stage, "flaky");
+        assert_eq!(log.attempts[0].attempt, 1);
+        assert_eq!(log.attempts[0].outcome, "transient");
+        assert_eq!(log.attempts[0].charged, SimDuration::from_secs(0.1 + 0.2));
+        assert_eq!(log.attempts[2].outcome, "ok");
+        assert_eq!(log.attempts[2].backoff, SimDuration::ZERO);
+        // The retry counter matches the failures; cursor advanced by the
+        // full elapsed time.
+        assert_eq!(obs.metrics().counter("pipeline.retries"), 2);
+        assert_eq!(obs.now().as_secs(), elapsed.as_secs());
+    }
+
+    #[test]
+    fn observed_run_exports_all_seven_stages_nested() {
+        let track = circle_track(3.0, 0.8);
+        let mut cfg = quick_config(17);
+        cfg.collection.duration_s = 30.0;
+        cfg.train.epochs = 2;
+        cfg.eval_laps = 1;
+        cfg.eval_max_duration_s = 20.0;
+        let pipeline = Pipeline::new(track, cfg);
+        let mut obs = Obs::new();
+        let report = pipeline
+            .run_observed(&mut FaultPlan::none(), &RetryPolicy::default(), &mut obs)
+            .expect("fault-free observed run succeeds");
+
+        // Root span + the seven stages nested directly under it.
+        let trace = obs.trace();
+        let root = trace.spans_named("pipeline").next().expect("root span");
+        assert!(root.end.is_some());
+        for stage in [
+            "collect",
+            "clean",
+            "reserve",
+            "provision+upload",
+            "train",
+            "deploy-model",
+            "evaluate",
+        ] {
+            let span = trace
+                .spans_named(stage)
+                .next()
+                .unwrap_or_else(|| panic!("missing span {stage}"));
+            assert_eq!(span.parent, Some(autolearn_obs::SpanId(0)), "{stage} not under root");
+        }
+        // The run log reconstructed from the trace matches what run_chaos
+        // would have recorded.
+        assert_eq!(report.run_log.completed_stages.last().unwrap(), "evaluate");
+        assert_eq!(report.run_log.gpu_used, "V100");
+        // Stage metrics landed: seven observations, one per stage.
+        let h = obs
+            .metrics()
+            .histogram("pipeline.stage_seconds")
+            .expect("stage histogram");
+        assert_eq!(h.count, 7);
+        // Sim-time cursor ended at the total pipeline duration (the cursor
+        // sums increments in a different order, so allow one ulp of drift).
+        let drift = (obs.now().as_secs() - report.total_time().as_secs()).abs();
+        assert!(drift < 1e-9, "cursor drifted {drift} from stage totals");
+        // Exports work end-to-end and are Perfetto-shaped.
+        let json = obs.export_chrome_trace();
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"name\":\"checkpoint\""));
     }
 }

@@ -7,6 +7,7 @@
 //! running commands on the Raspberry Pi" (§3.5).
 
 use autolearn_net::{transfer_time, Path, TransferSpec};
+use autolearn_obs::{AttrValue, Obs};
 use autolearn_util::fault::{FaultKind, FaultPlan, FaultSite};
 use autolearn_util::{Bytes, SimDuration};
 use serde::{Deserialize, Serialize};
@@ -202,6 +203,50 @@ impl ContainerRuntime {
             )),
         }
     }
+
+    /// [`ContainerRuntime::launch_with_faults`] with telemetry: bumps
+    /// `edge.launch_attempts`, records freshly injected faults as `fault`
+    /// events, and emits `container-started` (with whether the image was
+    /// already warm) or `edge-launch-failed`. The launch outcome is
+    /// identical to the unobserved call.
+    pub fn launch_with_faults_observed(
+        &mut self,
+        image: &ImageSpec,
+        net_path: &Path,
+        plan: &mut FaultPlan,
+        obs: &mut Obs,
+    ) -> Result<(Container, SimDuration), EdgeLaunchError> {
+        let faults_before = plan.injected().len();
+        let warm = self.image_cached(image);
+        let result = self.launch_with_faults(image, net_path, plan);
+        obs.counter_add("edge.launch_attempts", 1);
+        obs.record_injected_faults(&plan.injected()[faults_before..]);
+        match &result {
+            Ok((_, launch_time)) => {
+                obs.event(
+                    "container-started",
+                    vec![
+                        ("image".to_string(), AttrValue::Str(image.name.clone())),
+                        ("warm".to_string(), AttrValue::Bool(warm)),
+                        (
+                            "launch_s".to_string(),
+                            AttrValue::F64(launch_time.as_secs()),
+                        ),
+                    ],
+                );
+            }
+            Err(err) => {
+                obs.event(
+                    "edge-launch-failed",
+                    vec![
+                        ("image".to_string(), AttrValue::Str(image.name.clone())),
+                        ("error".to_string(), AttrValue::Str(err.to_string())),
+                    ],
+                );
+            }
+        }
+        result
+    }
 }
 
 #[cfg(test)]
@@ -270,6 +315,52 @@ mod tests {
                     .unwrap();
                 assert_eq!(c.state, ContainerState::Running);
                 assert_eq!(warm.as_secs(), 18.0);
+                return;
+            }
+        }
+        panic!("no edge fault found in 64 seeds");
+    }
+
+    #[test]
+    fn observed_launch_reports_cold_and_warm_starts() {
+        let mut rt = ContainerRuntime::new();
+        let img = ImageSpec::autolearn();
+        let mut obs = Obs::new();
+        rt.launch_with_faults_observed(&img, &wifi(), &mut FaultPlan::none(), &mut obs)
+            .unwrap();
+        rt.launch_with_faults_observed(&img, &wifi(), &mut FaultPlan::none(), &mut obs)
+            .unwrap();
+        assert_eq!(obs.metrics().counter("edge.launch_attempts"), 2);
+        let warm_flags: Vec<bool> = obs
+            .trace()
+            .events_named("container-started")
+            .map(|e| {
+                autolearn_obs::attr(&e.attrs, "warm")
+                    .and_then(|v| match v {
+                        AttrValue::Bool(b) => Some(*b),
+                        _ => None,
+                    })
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(warm_flags, vec![false, true]);
+    }
+
+    #[test]
+    fn observed_faulty_launch_emits_fault_and_failure_events() {
+        use autolearn_util::fault::FaultConfig;
+        for seed in 0..64 {
+            let mut plan = FaultPlan::from_seed(seed, FaultConfig::chaos(1.0));
+            let mut rt = ContainerRuntime::new();
+            let mut obs = Obs::new();
+            let img = ImageSpec::autolearn();
+            if rt
+                .launch_with_faults_observed(&img, &wifi(), &mut plan, &mut obs)
+                .is_err()
+            {
+                assert_eq!(obs.metrics().counter("edge.faults"), 1);
+                assert_eq!(obs.trace().events_named("fault").count(), 1);
+                assert_eq!(obs.trace().events_named("edge-launch-failed").count(), 1);
                 return;
             }
         }

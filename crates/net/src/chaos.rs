@@ -9,6 +9,7 @@
 
 use crate::link::Path;
 use crate::transfer::{overhead_time, serialisation_time, TransferSpec};
+use autolearn_obs::{AttrValue, Obs};
 use autolearn_util::fault::{FaultKind, FaultPlan, FaultSite};
 use autolearn_util::SimDuration;
 
@@ -111,6 +112,45 @@ impl ResumableTransfer {
             }
         }
     }
+
+    /// [`ResumableTransfer::attempt`] with telemetry: bumps the
+    /// `net.attempts` / `net.bytes_delivered` / `net.retransmit_attempts`
+    /// counters, records any freshly injected faults as `fault` events,
+    /// and emits a `transfer-failed` event when the attempt dies. Timing
+    /// and outcome are identical to the unobserved call.
+    pub fn attempt_observed(
+        &mut self,
+        path: &Path,
+        plan: &mut FaultPlan,
+        op: &str,
+        obs: &mut Obs,
+    ) -> Result<SimDuration, (TransferFailure, SimDuration)> {
+        let faults_before = plan.injected().len();
+        let frac_before = self.completed;
+        let result = self.attempt(path, plan, op);
+        obs.counter_add("net.attempts", 1);
+        if frac_before > 0.0 {
+            // A resume re-pays the handshake for bytes already counted once.
+            obs.counter_add("net.retransmit_attempts", 1);
+        }
+        let delivered = self
+            .spec
+            .bytes
+            .scale_ceil((self.completed - frac_before).max(0.0));
+        obs.counter_add("net.bytes_delivered", delivered.get());
+        obs.record_injected_faults(&plan.injected()[faults_before..]);
+        if let Err((failure, charged)) = &result {
+            obs.event(
+                "transfer-failed",
+                vec![
+                    ("op".to_string(), AttrValue::Str(op.to_string())),
+                    ("failure".to_string(), AttrValue::Str(failure.to_string())),
+                    ("charged_s".to_string(), AttrValue::F64(charged.as_secs())),
+                ],
+            );
+        }
+        result
+    }
 }
 
 #[cfg(test)]
@@ -173,6 +213,31 @@ mod tests {
             }
         }
         panic!("no degradation fault found in 64 seeds");
+    }
+
+    #[test]
+    fn observed_attempt_matches_unobserved_and_counts_faults() {
+        for seed in 0..64 {
+            let mut plain = FaultPlan::from_seed(seed, FaultConfig::chaos(1.0));
+            let mut obs_plan = FaultPlan::from_seed(seed, FaultConfig::chaos(1.0));
+            let spec = TransferSpec::rsync(Bytes::new(30_000_000));
+            let mut a = ResumableTransfer::new(spec);
+            let mut b = ResumableTransfer::new(spec);
+            let mut obs = autolearn_obs::Obs::new();
+            let plain_out = a.attempt(&wifi(), &mut plain, "up");
+            let observed_out = b.attempt_observed(&wifi(), &mut obs_plan, "up", &mut obs);
+            assert_eq!(plain_out, observed_out, "telemetry must not change timing");
+            assert_eq!(obs.metrics().counter("net.attempts"), 1);
+            if observed_out.is_err() {
+                assert_eq!(obs.metrics().counter("net.faults"), 1);
+                assert_eq!(obs.trace().events_named("fault").count(), 1);
+                assert_eq!(obs.trace().events_named("transfer-failed").count(), 1);
+                // Partial progress was still delivered and counted.
+                assert!(obs.metrics().counter("net.bytes_delivered") > 0);
+                return;
+            }
+        }
+        panic!("no failing net fault found in 64 seeds");
     }
 
     #[test]

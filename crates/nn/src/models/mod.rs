@@ -187,6 +187,14 @@ pub trait DonkeyModel: Send {
     fn graph_spec(&self) -> Option<ModelSpec> {
         None
     }
+
+    /// Total bytes currently held by the model's grow-only scratch arenas.
+    /// The arenas only grow on new (layer, batch-shape) pairs, so after
+    /// training this *is* the peak footprint — the trainer surfaces it as
+    /// the `nn.scratch_peak_bytes` gauge. Models without arenas report 0.
+    fn scratch_bytes(&self) -> usize {
+        0
+    }
 }
 
 /// Transform a raw frame dataset into the layout `spec` requires.

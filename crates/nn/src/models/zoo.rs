@@ -547,6 +547,10 @@ impl DonkeyModel for CarModel {
         self.kind
     }
 
+    fn scratch_bytes(&self) -> usize {
+        CarModel::scratch_bytes(self)
+    }
+
     fn input_spec(&self) -> InputSpec {
         match self.kind {
             ModelKind::Rnn | ModelKind::ThreeD => InputSpec::Sequence(self.cfg.seq_len),

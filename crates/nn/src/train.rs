@@ -9,6 +9,7 @@ use crate::models::DonkeyModel;
 use crate::optim::{Adam, Optimizer};
 use crate::schedule::{LrSchedule, LrScheduler};
 use autolearn_analyze::graph::{validate_model, GraphError};
+use autolearn_obs::{AttrValue, Obs};
 use serde::{Deserialize, Serialize};
 
 /// Training hyper-parameters.
@@ -60,6 +61,10 @@ pub struct TrainReport {
     /// Total examples processed (forward+backward), for the device-time
     /// model in `autolearn-cloud`.
     pub examples_seen: u64,
+    /// Peak bytes held by the model's grow-only scratch arenas over the
+    /// run (measured after training; the arenas never shrink, so the
+    /// final footprint is the peak).
+    pub scratch_peak_bytes: u64,
 }
 
 /// Trains a [`DonkeyModel`] on a prepared [`Dataset`].
@@ -89,6 +94,24 @@ impl Trainer {
         self.fit_with(model, &train, &val, &mut opt)
     }
 
+    /// [`Trainer::fit`] with telemetry: wraps the run in a `fit` span,
+    /// emits one `epoch` event per epoch (train/val loss), feeds the
+    /// `nn.epoch_train_loss` / `nn.epoch_val_loss` histograms, and tracks
+    /// the peak scratch-arena footprint as the `nn.scratch_peak_bytes`
+    /// gauge. The weight trajectory is identical to the unobserved call.
+    pub fn fit_observed(
+        &self,
+        model: &mut dyn DonkeyModel,
+        data: &Dataset,
+        obs: &mut Obs,
+    ) -> Result<TrainReport, Vec<GraphError>> {
+        assert!(data.len() >= 2, "dataset too small to split");
+        let cfg = &self.config;
+        let (train, val) = data.split(cfg.train_frac, cfg.seed);
+        let mut opt = Adam::new(cfg.learning_rate);
+        self.fit_inner(model, &train, &val, &mut opt, Some(obs))
+    }
+
     /// Fit with explicit train/val sets and optimizer (used by experiments
     /// that sweep optimizers or need fixed splits). Performs the same
     /// pre-flight graph validation as [`Trainer::fit`].
@@ -99,9 +122,21 @@ impl Trainer {
         val: &Dataset,
         opt: &mut dyn Optimizer,
     ) -> Result<TrainReport, Vec<GraphError>> {
+        self.fit_inner(model, train, val, opt, None)
+    }
+
+    fn fit_inner(
+        &self,
+        model: &mut dyn DonkeyModel,
+        train: &Dataset,
+        val: &Dataset,
+        opt: &mut dyn Optimizer,
+        mut obs: Option<&mut Obs>,
+    ) -> Result<TrainReport, Vec<GraphError>> {
         if let Some(spec) = model.graph_spec() {
             validate_model(&spec)?;
         }
+        let fit_span = obs.as_deref_mut().map(|o| o.begin_span("fit"));
         let cfg = &self.config;
         let mut history = Vec::new();
         let mut best_val = f32::INFINITY;
@@ -130,6 +165,19 @@ impl Trainer {
                 train_loss,
                 val_loss,
             });
+            if let Some(o) = obs.as_deref_mut() {
+                o.event(
+                    "epoch",
+                    vec![
+                        ("epoch".to_string(), AttrValue::Int(epoch as i64)),
+                        ("train_loss".to_string(), AttrValue::F64(f64::from(train_loss))),
+                        ("val_loss".to_string(), AttrValue::F64(f64::from(val_loss))),
+                    ],
+                );
+                o.observe_with("nn.epoch_train_loss", LOSS_BUCKETS, f64::from(train_loss));
+                o.observe_with("nn.epoch_val_loss", LOSS_BUCKETS, f64::from(val_loss));
+                o.gauge_max("nn.scratch_peak_bytes", model.scratch_bytes() as f64);
+            }
 
             if val_loss < best_val {
                 best_val = val_loss;
@@ -146,6 +194,26 @@ impl Trainer {
             }
         }
 
+        let scratch_peak_bytes = model.scratch_bytes() as u64;
+        if let Some(o) = obs.as_deref_mut() {
+            if stopped_early {
+                o.event(
+                    "early-stop",
+                    vec![(
+                        "best_epoch".to_string(),
+                        AttrValue::Int(best_epoch as i64),
+                    )],
+                );
+            }
+            o.counter_add("nn.examples_seen", examples_seen);
+            o.gauge_max("nn.scratch_peak_bytes", scratch_peak_bytes as f64);
+            o.gauge_set("nn.best_val_loss", f64::from(best_val));
+            if let Some(span) = fit_span {
+                o.span_attr(span, "epochs_ran", AttrValue::Int(history.len() as i64));
+                o.span_attr(span, "examples_seen", AttrValue::UInt(examples_seen));
+                o.end_span(span);
+            }
+        }
         Ok(TrainReport {
             epochs_ran: history.len(),
             history,
@@ -153,9 +221,13 @@ impl Trainer {
             best_epoch,
             stopped_early,
             examples_seen,
+            scratch_peak_bytes,
         })
     }
 }
+
+/// Histogram bounds for per-epoch losses (MSE-scale, unitless).
+const LOSS_BUCKETS: &[f64] = &[0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0];
 
 /// Mean per-batch validation loss.
 pub fn evaluate(model: &mut dyn DonkeyModel, data: &Dataset, batch_size: usize) -> f32 {
@@ -324,6 +396,65 @@ mod tests {
             warm,
             "scratch must be allocated once per (layer, batch-shape)"
         );
+    }
+
+    #[test]
+    fn observed_fit_matches_unobserved_and_reports_epochs() {
+        let make = || {
+            let mut model = CarModel::build(ModelKind::Linear, &cfg());
+            let data = prepare_dataset(&dataset(60), model.input_spec());
+            (model, data)
+        };
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 4,
+            batch_size: 16,
+            patience: None,
+            ..Default::default()
+        });
+        let (mut plain_model, data) = make();
+        let plain = trainer.fit(&mut plain_model, &data).expect("graph validates");
+        let (mut obs_model, data) = make();
+        let mut obs = Obs::new();
+        let observed = trainer
+            .fit_observed(&mut obs_model, &data, &mut obs)
+            .expect("graph validates");
+
+        // Telemetry must not perturb training.
+        assert_eq!(plain.history.len(), observed.history.len());
+        for (a, b) in plain.history.iter().zip(&observed.history) {
+            assert_eq!(a.train_loss, b.train_loss);
+            assert_eq!(a.val_loss, b.val_loss);
+        }
+        assert!(observed.scratch_peak_bytes > 0);
+        assert_eq!(
+            observed.scratch_peak_bytes,
+            obs.metrics().gauge("nn.scratch_peak_bytes") as u64
+        );
+        // One fit span, one epoch event per epoch, exact loss round-trip.
+        assert_eq!(obs.trace().spans_named("fit").count(), 1);
+        let epochs: Vec<&autolearn_obs::Event> = obs.trace().events_named("epoch").collect();
+        assert_eq!(epochs.len(), observed.epochs_ran);
+        let first_loss = autolearn_obs::attr(&epochs[0].attrs, "val_loss")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert_eq!(first_loss, f64::from(observed.history[0].val_loss));
+        assert_eq!(obs.metrics().counter("nn.examples_seen"), observed.examples_seen);
+    }
+
+    #[test]
+    fn unobserved_fit_still_reports_scratch_peak() {
+        let mut model = CarModel::build(ModelKind::Linear, &cfg());
+        let data = prepare_dataset(&dataset(40), model.input_spec());
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 1,
+            batch_size: 8,
+            patience: None,
+            ..Default::default()
+        });
+        let report = trainer.fit(&mut model, &data).expect("graph validates");
+        assert_eq!(report.scratch_peak_bytes, model.scratch_bytes() as u64);
+        assert!(report.scratch_peak_bytes > 0);
     }
 
     #[test]

@@ -1,0 +1,164 @@
+//! The flight recorder: a bounded ring of the most recent observations.
+//!
+//! The full [`Trace`](crate::trace::Trace) arena is the archival record; the
+//! flight recorder is the black box. It mirrors every span boundary and
+//! event into a fixed-capacity ring of pre-rendered lines, so that when a
+//! pipeline dies mid-run the error can ship the last N things that
+//! happened — a post-mortem that costs O(capacity) memory no matter how
+//! long the run was.
+
+use autolearn_util::SimTime;
+use std::collections::VecDeque;
+
+/// One recorded entry: a simulated timestamp plus a rendered line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightEntry {
+    /// When it happened on the simulated timeline.
+    pub at: SimTime,
+    /// Human-readable description (already formatted).
+    pub line: String,
+}
+
+/// Bounded ring of recent [`FlightEntry`]s.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    capacity: usize,
+    entries: VecDeque<FlightEntry>,
+    /// Total entries ever pushed (including the ones the ring dropped).
+    recorded: u64,
+}
+
+/// Default ring capacity: enough for the full seven-stage lesson with a
+/// worst-case chaos plan, small enough to embed in any error report.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 256;
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::with_capacity(DEFAULT_FLIGHT_CAPACITY)
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `capacity` entries (minimum 1).
+    pub fn with_capacity(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            capacity: capacity.max(1),
+            entries: VecDeque::new(),
+            recorded: 0,
+        }
+    }
+
+    /// Record one line, evicting the oldest entry when full.
+    pub fn record(&mut self, at: SimTime, line: String) {
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(FlightEntry { at, line });
+        self.recorded += 1;
+    }
+
+    /// The retained entries, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &FlightEntry> {
+        self.entries.iter()
+    }
+
+    /// Render the ring as `t+...  line` rows, oldest first — the body of a
+    /// post-mortem.
+    pub fn dump(&self) -> Vec<String> {
+        self.entries
+            .iter()
+            .map(|e| format!("{}  {}", e.at, e.line))
+            .collect()
+    }
+
+    /// Total entries ever recorded (the ring may retain fewer).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Number of entries currently retained.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The post-mortem attached to a failed run: the error plus the flight
+/// recorder's view of the moments before it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PostMortem {
+    /// Rendered error that killed the run.
+    pub error: String,
+    /// The simulated instant the run died.
+    pub at: SimTime,
+    /// The flight recorder dump, oldest first.
+    pub recent: Vec<String>,
+}
+
+impl std::fmt::Display for PostMortem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "post-mortem at {}: {}", self.at, self.error)?;
+        writeln!(f, "last {} recorded entries:", self.recent.len())?;
+        for line in &self.recent {
+            writeln!(f, "  {line}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn ring_keeps_only_the_tail() {
+        let mut fr = FlightRecorder::with_capacity(3);
+        for i in 0..10 {
+            fr.record(t(i as f64), format!("entry-{i}"));
+        }
+        assert_eq!(fr.len(), 3);
+        assert_eq!(fr.recorded(), 10);
+        let lines: Vec<&str> = fr.entries().map(|e| e.line.as_str()).collect();
+        assert_eq!(lines, vec!["entry-7", "entry-8", "entry-9"]);
+    }
+
+    #[test]
+    fn dump_renders_timestamps_oldest_first() {
+        let mut fr = FlightRecorder::with_capacity(8);
+        fr.record(t(1.0), "first".into());
+        fr.record(t(2.0), "second".into());
+        let dump = fr.dump();
+        assert_eq!(dump.len(), 2);
+        assert!(dump[0].contains("first") && dump[0].starts_with("t+"));
+        assert!(dump[1].contains("second"));
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut fr = FlightRecorder::with_capacity(0);
+        fr.record(t(0.0), "x".into());
+        fr.record(t(1.0), "y".into());
+        assert_eq!(fr.len(), 1);
+        assert_eq!(fr.entries().next().unwrap().line, "y");
+    }
+
+    #[test]
+    fn post_mortem_displays_error_and_tail() {
+        let pm = PostMortem {
+            error: "stage 'reserve' failed".into(),
+            at: t(30.0),
+            recent: vec!["a".into(), "b".into()],
+        };
+        let text = pm.to_string();
+        assert!(text.contains("stage 'reserve' failed"));
+        assert!(text.contains("last 2 recorded entries"));
+    }
+}

@@ -1,0 +1,359 @@
+//! Deterministic metrics: counters, gauges and fixed-bucket histograms.
+//!
+//! The registry keeps every metric in *insertion order* (a `Vec` plus a
+//! name index), so a summary export is byte-identical across same-seed
+//! replays — no hash-map iteration anywhere near an output (the
+//! `no-unordered-iteration` lint's whole concern). Histograms use fixed
+//! bucket bounds chosen at registration time; observations are counted
+//! into the first bucket whose upper bound admits them, with an implicit
+//! `+inf` overflow bucket, mirroring the Prometheus layout every
+//! production metrics pipeline speaks.
+
+use std::collections::BTreeMap;
+
+/// A monotonically increasing count of things that happened.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Counter {
+    /// Current count.
+    pub value: u64,
+}
+
+/// A point-in-time measurement (last value wins; [`Gauge::record_max`]
+/// keeps peaks instead).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Gauge {
+    /// Current value.
+    pub value: f64,
+}
+
+/// A fixed-bucket histogram over `f64` observations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Upper bounds of the finite buckets, strictly increasing.
+    pub bounds: Vec<f64>,
+    /// Observation counts per finite bucket, plus one overflow bucket at
+    /// the end (`counts.len() == bounds.len() + 1`).
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: f64,
+    /// Smallest observation (`f64::INFINITY` when empty).
+    pub min: f64,
+    /// Largest observation (`f64::NEG_INFINITY` when empty).
+    pub max: f64,
+}
+
+impl Histogram {
+    /// A histogram with the given finite bucket upper bounds. Bounds are
+    /// sorted and deduplicated; an empty list leaves only the overflow
+    /// bucket.
+    pub fn with_bounds(bounds: &[f64]) -> Histogram {
+        let mut sorted: Vec<f64> = bounds.iter().copied().filter(|b| b.is_finite()).collect();
+        sorted.sort_by(f64::total_cmp);
+        sorted.dedup();
+        let n = sorted.len();
+        Histogram {
+            bounds: sorted,
+            counts: vec![0; n + 1],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Default latency buckets for simulated-seconds quantities: sub-second
+    /// through multi-hour, roughly geometric.
+    pub fn seconds_buckets() -> Histogram {
+        Histogram::with_bounds(&[
+            0.01, 0.1, 1.0, 5.0, 15.0, 60.0, 300.0, 900.0, 3600.0, 14400.0,
+        ])
+    }
+
+    /// Count one observation.
+    pub fn observe(&mut self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|b| value <= *b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+        if value < self.min {
+            self.min = value;
+        }
+        if value > self.max {
+            self.max = value;
+        }
+    }
+
+    /// Mean observation, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Estimated `p`-th percentile (`p` in `[0, 100]`): the upper bound of
+    /// the bucket holding the `ceil(p/100 * count)`-th observation, clamped
+    /// to the observed `max` so the overflow bucket reports a finite value.
+    /// Returns 0 when empty.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let bound = self.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+                return bound.min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// One named metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// A [`Counter`].
+    Counter(Counter),
+    /// A [`Gauge`].
+    Gauge(Gauge),
+    /// A [`Histogram`].
+    Histogram(Histogram),
+}
+
+/// The per-run metric registry: named metrics in deterministic insertion
+/// order.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    entries: Vec<(String, Metric)>,
+    index: BTreeMap<String, usize>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Add `n` to the counter `name`, creating it at zero on first touch.
+    /// A name already registered as a different metric type is left
+    /// untouched (no panics mid-run).
+    pub fn counter_add(&mut self, name: &str, n: u64) {
+        let idx = self.ensure(name, || Metric::Counter(Counter::default()));
+        if let Metric::Counter(c) = &mut self.entries[idx].1 {
+            c.value = c.value.saturating_add(n);
+        }
+    }
+
+    /// Set the gauge `name` to `value` (last write wins).
+    pub fn gauge_set(&mut self, name: &str, value: f64) {
+        let idx = self.ensure(name, || Metric::Gauge(Gauge::default()));
+        if let Metric::Gauge(g) = &mut self.entries[idx].1 {
+            g.value = value;
+        }
+    }
+
+    /// Raise the gauge `name` to `value` if larger (peak tracking — scratch
+    /// arena high-water marks, worst stage time).
+    pub fn gauge_max(&mut self, name: &str, value: f64) {
+        let idx = self.ensure(name, || Metric::Gauge(Gauge::default()));
+        if let Metric::Gauge(g) = &mut self.entries[idx].1 {
+            if value > g.value {
+                g.value = value;
+            }
+        }
+    }
+
+    /// Observe `value` into the histogram `name`, creating it with
+    /// [`Histogram::seconds_buckets`] on first touch.
+    pub fn observe(&mut self, name: &str, value: f64) {
+        self.observe_with(name, value, Histogram::seconds_buckets);
+    }
+
+    /// Observe `value` into the histogram `name`, creating it with
+    /// `make` on first touch (for non-latency bucket layouts).
+    pub fn observe_with(&mut self, name: &str, value: f64, make: impl FnOnce() -> Histogram) {
+        let idx = self.ensure(name, || Metric::Histogram(make()));
+        if let Metric::Histogram(h) = &mut self.entries[idx].1 {
+            h.observe(value);
+        }
+    }
+
+    /// The metric registered as `name`, if any.
+    pub fn get(&self, name: &str) -> Option<&Metric> {
+        self.index.get(name).map(|i| &self.entries[*i].1)
+    }
+
+    /// The counter value of `name` (0 when absent or not a counter).
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.get(name) {
+            Some(Metric::Counter(c)) => c.value,
+            _ => 0,
+        }
+    }
+
+    /// The gauge value of `name` (0 when absent or not a gauge).
+    pub fn gauge(&self, name: &str) -> f64 {
+        match self.get(name) {
+            Some(Metric::Gauge(g)) => g.value,
+            _ => 0.0,
+        }
+    }
+
+    /// The histogram registered as `name`, if any.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        match self.get(name) {
+            Some(Metric::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Every metric, in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Metric)> {
+        self.entries.iter().map(|(n, m)| (n.as_str(), m))
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn ensure(&mut self, name: &str, make: impl FnOnce() -> Metric) -> usize {
+        if let Some(i) = self.index.get(name) {
+            return *i;
+        }
+        let i = self.entries.len();
+        self.entries.push((name.to_string(), make()));
+        self.index.insert(name.to_string(), i);
+        i
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_saturate() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("net.attempts", 1);
+        m.counter_add("net.attempts", 2);
+        assert_eq!(m.counter("net.attempts"), 3);
+        m.counter_add("net.attempts", u64::MAX);
+        assert_eq!(m.counter("net.attempts"), u64::MAX);
+        assert_eq!(m.counter("absent"), 0);
+    }
+
+    #[test]
+    fn gauges_set_and_track_peaks() {
+        let mut m = MetricsRegistry::new();
+        m.gauge_set("x", 4.0);
+        m.gauge_set("x", 2.0);
+        assert_eq!(m.gauge("x"), 2.0);
+        m.gauge_max("peak", 5.0);
+        m.gauge_max("peak", 3.0);
+        m.gauge_max("peak", 9.0);
+        assert_eq!(m.gauge("peak"), 9.0);
+    }
+
+    #[test]
+    fn insertion_order_is_stable() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("z", 1);
+        m.gauge_set("a", 1.0);
+        m.observe("m", 1.0);
+        let names: Vec<&str> = m.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["z", "a", "m"]);
+        // Re-touching does not reorder.
+        m.counter_add("z", 1);
+        let names: Vec<&str> = m.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["z", "a", "m"]);
+    }
+
+    #[test]
+    fn type_confusion_is_ignored_not_fatal() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("x", 2);
+        m.gauge_set("x", 7.0); // wrong type: ignored
+        assert_eq!(m.counter("x"), 2);
+        assert_eq!(m.gauge("x"), 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets_count_observations() {
+        let mut h = Histogram::with_bounds(&[1.0, 10.0, 100.0]);
+        for v in [0.5, 0.9, 5.0, 50.0, 500.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.counts, vec![2, 1, 1, 1]);
+        assert_eq!(h.count, 5);
+        assert_eq!(h.min, 0.5);
+        assert_eq!(h.max, 500.0);
+        assert!((h.mean() - 111.28).abs() < 1e-9);
+        // Boundary lands in the bucket it bounds (le semantics).
+        let mut edge = Histogram::with_bounds(&[1.0, 10.0]);
+        edge.observe(1.0);
+        assert_eq!(edge.counts, vec![1, 0, 0]);
+    }
+
+    #[test]
+    fn histogram_percentiles_use_bucket_bounds() {
+        let mut h = Histogram::with_bounds(&[1.0, 2.0, 4.0, 8.0]);
+        for _ in 0..50 {
+            h.observe(0.5); // bucket <=1
+        }
+        for _ in 0..40 {
+            h.observe(1.5); // bucket <=2
+        }
+        for _ in 0..10 {
+            h.observe(6.0); // bucket <=8
+        }
+        assert_eq!(h.percentile(50.0), 1.0);
+        assert_eq!(h.percentile(90.0), 2.0);
+        // The tail buckets report their bound clamped to the observed max:
+        // no percentile can exceed a value that was actually seen.
+        assert_eq!(h.percentile(99.0), 6.0);
+        assert_eq!(h.percentile(100.0), 6.0);
+    }
+
+    #[test]
+    fn histogram_overflow_bucket_clamps_to_observed_max() {
+        let mut h = Histogram::with_bounds(&[1.0]);
+        h.observe(1000.0);
+        h.observe(2000.0);
+        assert_eq!(h.counts, vec![0, 2]);
+        // The +inf bucket reports the observed max, not infinity.
+        assert_eq!(h.percentile(50.0), 2000.0);
+        assert!(h.percentile(50.0).is_finite());
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = Histogram::with_bounds(&[1.0, 2.0]);
+        assert_eq!(h.percentile(50.0), 0.0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.count, 0);
+    }
+
+    #[test]
+    fn bounds_are_sorted_and_deduped() {
+        let h = Histogram::with_bounds(&[10.0, 1.0, 10.0, f64::INFINITY, 5.0]);
+        assert_eq!(h.bounds, vec![1.0, 5.0, 10.0]);
+        assert_eq!(h.counts.len(), 4);
+    }
+}

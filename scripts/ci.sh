@@ -29,6 +29,20 @@ echo "== ci: kernel bench smoke =="
 scripts/bench.sh --smoke || status=$?
 
 echo
+echo "== ci: trace smoke =="
+# One traced lesson under a seeded fault plan: the exported chrome-trace
+# must be byte-identical across two replays and show all seven stages.
+scripts/trace.sh || status=$?
+
+echo
+echo "== ci: kernel regression gate =="
+# Re-measures the optimized kernels at the committed shapes and fails if
+# the aggregate is >5% slower than BENCH_kernels.json — keeps telemetry
+# (and everything else) off the numeric hot paths.
+cargo build --release -q -p autolearn-bench --bin kernel_bench || status=$?
+./target/release/kernel_bench --check BENCH_kernels.json || status=$?
+
+echo
 echo "== ci: analyzer baseline ratchet =="
 # Fails on any finding count above the committed snapshot; when counts
 # shrink, the snapshot is rewritten in place — commit the updated file.

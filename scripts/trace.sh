@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Telemetry smoke: run one digital lesson under a seeded fault plan with
+# tracing on, verify the exported chrome://tracing JSON is byte-identical
+# across two same-seed replays and carries all seven pipeline stages, and
+# write the artifact to results/trace_smoke.json.
+#
+#   scripts/trace.sh            pinned CI seed
+#   scripts/trace.sh 42         explore another fault-plan seed
+#
+# Load the output at chrome://tracing or https://ui.perfetto.dev to see
+# the stage spans, retry attempts and injected faults on one timeline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -q -p autolearn-bench --bin trace_smoke
+./target/release/trace_smoke "$@"
